@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper (DESIGN.md §4)
+and both *times* the regeneration (pytest-benchmark) and *prints* the same
+rows/series the paper reports, also archiving them under
+``benchmarks/results/`` so EXPERIMENTS.md can quote them.
+
+Trace sizes follow ``REPRO_SCALE`` (default 32, see
+:mod:`repro.analysis.experiments`); set ``REPRO_SCALE=1`` for full-size
+runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+from repro.analysis.experiments import ExperimentSetup, default_setup
+from repro.core import SlotConfig
+from repro.traces.wan import WANProfile
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Seed shared by every figure regeneration (the paper replays one logged
+#: trace per case; we replay one seeded synthetic trace per case).
+SEED = 2012
+
+
+def figure_setup(profile: WANProfile) -> ExperimentSetup:
+    """The per-figure experiment setup used across the bench suite."""
+    return dataclasses.replace(
+        default_setup(profile, seed=SEED),
+        sfd_slot=SlotConfig(100, reset_on_adjust=True, min_slots=5),
+    )
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table/series and archive it for EXPERIMENTS.md."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

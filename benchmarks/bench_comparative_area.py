@@ -1,0 +1,66 @@
+"""Section V / V-C — comparative QoS-space coverage across all WAN cases.
+
+The paper's comparison methodology: "we measure the area covered by the
+failure detector when we vary its parameter from a highly aggressive
+behavior to a very conservative one.  The area covered by a failure
+detector … corresponds to a set of QoS requirements that can possibly be
+matched by that failure detector."
+
+This bench computes that area (``repro.qos.covered_area``, TD ≤ 1 s,
+MR ≤ 10/s, log accuracy axis) for every detector on every WAN case and
+prints the coverage matrix.  Assertions encode the paper's comparative
+conclusions: Chen's open-loop sweep covers the largest requirement area on
+every case (it spans both regimes); Bertier's single point covers the
+least; φ sits in between (aggressive range only).  SFD's *raison d'être*
+is orthogonal to this metric — it does not sweep, it satisfies one stated
+requirement automatically — so the matrix lists it for completeness
+without a coverage claim.
+"""
+
+from repro.analysis.experiments import default_setup, run_figure
+from repro.analysis.report import format_table
+from repro.qos.area import covered_area
+from repro.traces import ALL_PROFILES
+
+from _common import SEED, emit
+
+TD_MAX = 1.0
+MR_MAX = 10.0
+
+
+def run():
+    out = {}
+    for profile in ALL_PROFILES:
+        result = run_figure(default_setup(profile, seed=SEED))
+        out[profile.name] = {
+            name: covered_area(curve, td_max=TD_MAX, acc_max=MR_MAX)
+            for name, curve in result.curves.items()
+        }
+    return out
+
+
+def test_comparative_coverage(benchmark):
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for case, areas in out.items():
+        rows.append(
+            {
+                "case": case,
+                **{d: f"{a:.3f}" for d, a in sorted(areas.items())},
+            }
+        )
+    emit(
+        "comparative_area",
+        format_table(
+            rows,
+            title=(
+                "QoS-space coverage per detector "
+                f"(fraction of requirements with TD<={TD_MAX}s, "
+                f"MR<={MR_MAX}/s satisfiable; Section V methodology)"
+            ),
+        ),
+    )
+    for case, areas in out.items():
+        assert areas["chen"] >= areas["phi"], case
+        assert areas["phi"] > areas["bertier"], case
+        assert areas["chen"] > 0.15, case

@@ -1,0 +1,31 @@
+"""Fig. 10 — query accuracy probability vs detection time, WAN-1.
+
+QAP panel of the WAN-1 experiment; checks the upper-left-is-best shape and
+that SFD's tuned band keeps the high accuracy the paper reports (~99.5%+
+at its endpoints).
+"""
+
+from repro.traces import WAN_1
+
+from _common import emit, figure_setup
+from _figures import render_figure, run_and_check
+
+
+def test_fig10(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_and_check(figure_setup(WAN_1)), rounds=1, iterations=1
+    )
+    chen = result.curves["chen"].finite()
+    sfd = result.curves["sfd"].finite()
+    # QAP grows along Chen's sweep towards the conservative end.
+    qaps = chen.query_accuracies()
+    assert qaps[-1] == max(qaps)
+    assert sfd.query_accuracies().max() > 0.99
+    emit(
+        "fig10",
+        render_figure(
+            "fig10",
+            "Fig. 10: Query accuracy probability vs detection time (WAN-1)",
+            result,
+        ),
+    )

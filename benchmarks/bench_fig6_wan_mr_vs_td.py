@@ -1,0 +1,26 @@
+"""Fig. 6 — mistake rate vs detection time, JAIST↔EPFL WAN (Section V-A).
+
+Replays the calibrated WAN-JAIST trace through SFD, Chen FD, Bertier FD,
+and φ FD with the paper's sweeps (Chen α, φ Φ ∈ [0.5, 16], Bertier's fixed
+gains, SFD SM₁ list under the target QoS), then prints every series and
+asserts the figure's qualitative claims (see ``_figures``).
+"""
+
+from repro.traces import WAN_JAIST
+
+from _common import emit, figure_setup
+from _figures import render_figure, run_and_check
+
+
+def test_fig6(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_and_check(figure_setup(WAN_JAIST)), rounds=1, iterations=1
+    )
+    emit(
+        "fig6",
+        render_figure(
+            "fig6",
+            "Fig. 6: Mistake rate vs detection time (WAN JAIST->EPFL)",
+            result,
+        ),
+    )

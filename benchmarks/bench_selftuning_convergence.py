@@ -1,0 +1,100 @@
+"""Section V-A2/V-B2 (text) — SFD self-tuning trajectories.
+
+The paper narrates, rather than plots, the self-tuning dynamics: a small
+``SM₁`` makes the output QoS too inaccurate, so SFD "gradually increased
+SM in next multiple freshness points to reduce the MR"; an oversized
+``SM₁`` makes detection too slow, so SFD sets ``Sat = −β`` "to reduce the
+TD".  This bench regenerates both trajectories on the WAN-JAIST trace,
+prints the per-slot decisions, and asserts the convergence story:
+
+* aggressive start → net margin growth, ending inside the requirement;
+* conservative start → net margin shrink below the TD bound;
+* after convergence the controller reports STABLE (no further steps).
+"""
+
+from repro.analysis.experiments import scaled_heartbeats
+from repro.analysis.report import format_table
+from repro.core import SlotConfig, TuningStatus
+from repro.qos.spec import QoSRequirements, Satisfaction
+from repro.replay import SFDSpec, replay
+from repro.traces import WAN_JAIST, synthesize
+
+from _common import SEED, emit
+
+REQ = QoSRequirements(
+    max_detection_time=0.9, max_mistake_rate=0.35, min_query_accuracy=0.99
+)
+SLOT = SlotConfig(100, reset_on_adjust=True, min_slots=5)
+
+
+def run_pair():
+    trace = synthesize(WAN_JAIST, n=scaled_heartbeats(WAN_JAIST), seed=SEED)
+    view = trace.monitor_view()
+    out = {}
+    for label, sm1 in (("aggressive", 0.005), ("conservative", 1.8)):
+        out[label] = replay(
+            SFDSpec(
+                requirements=REQ,
+                sm1=sm1,
+                alpha=0.1,
+                beta=0.5,
+                window=1000,
+                slot=SLOT,
+            ),
+            view,
+        )
+    return out
+
+
+def trajectory_rows(result, limit=14):
+    rows = []
+    for rec in result.tuning[:limit]:
+        rows.append(
+            {
+                "slot": rec.slot,
+                "t [s]": f"{rec.time:.1f}",
+                "SM before": f"{rec.sm_before:.3f}",
+                "SM after": f"{rec.sm_after:.3f}",
+                "decision": rec.decision.name,
+                "win MR [1/s]": f"{rec.qos.mistake_rate:.4g}",
+                "win TD [s]": f"{rec.qos.detection_time:.3f}",
+            }
+        )
+    return rows
+
+
+def test_selftuning_convergence(benchmark):
+    out = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    agg, cons = out["aggressive"], out["conservative"]
+
+    # Aggressive start: the margin must have grown, and the final state is
+    # not infeasible.
+    assert agg.final_margin > 0.005
+    assert any(r.decision is Satisfaction.GROW for r in agg.tuning)
+    assert agg.status in (TuningStatus.STABLE, TuningStatus.TUNING)
+    assert agg.qos.detection_time <= 1.1 * REQ.max_detection_time
+
+    # Conservative start: TD over the bound forces SHRINK steps until the
+    # detection requirement holds again.
+    assert cons.final_margin < 1.8
+    assert any(r.decision is Satisfaction.SHRINK for r in cons.tuning)
+    assert cons.qos.detection_time <= 1.15 * REQ.max_detection_time
+
+    # Once stable, the margin stops moving: the last decisions are STABLE.
+    tail = [r.decision for r in cons.tuning[-3:]]
+    assert Satisfaction.STABLE in tail
+
+    text = (
+        format_table(
+            trajectory_rows(agg),
+            title=f"SFD trajectory, SM1=0.005 (final SM={agg.final_margin:.3f}, "
+            f"status={agg.status.value})",
+        )
+        + "\n\n"
+        + format_table(
+            trajectory_rows(cons),
+            title=f"SFD trajectory, SM1=1.8 (final SM={cons.final_margin:.3f}, "
+            f"status={cons.status.value})",
+        )
+    )
+    emit("selftuning_convergence", text)

@@ -1,0 +1,102 @@
+"""Stress ablation — detector ordering under an adversarial delay regime.
+
+The paper's traces are benign by modern standards; this bench pushes the
+channel outside the calibrated envelope (an infinite-variance Pareto delay
+tail plus bursty losses — "the high unpredictability of message delays …
+the high probability of message losses", Section I) and checks the
+comparison's *ordering* survives:
+
+* every metric stays in its domain (no NaN/negative artifacts at any α);
+* Chen's α-monotonicity holds (more margin ⇒ no more mistakes);
+* the conservative end still beats the aggressive end on accuracy;
+* SFD still lands inside its requirement band or honestly reports
+  infeasibility — it must never silently violate the contract.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core import SlotConfig, TuningStatus
+from repro.net import GilbertElliottLoss, ParetoTailDelay, UnreliableChannel
+from repro.qos.spec import QoSRequirements
+from repro.replay import ChenSpec, SFDSpec, replay
+from repro.traces import HeartbeatTrace
+
+from _common import SEED, emit
+
+N = 80_000
+ALPHAS = (0.01, 0.05, 0.2, 0.8)
+REQ = QoSRequirements(
+    max_detection_time=1.5, max_mistake_rate=1.0, min_query_accuracy=0.95
+)
+
+
+def build_trace():
+    rng = np.random.default_rng(SEED)
+    send = np.cumsum(np.maximum(rng.normal(0.05, 0.002, N), 0.01))
+    channel = UnreliableChannel(
+        ParetoTailDelay(floor=0.02, scale=0.01, shape=1.4),  # infinite var
+        GilbertElliottLoss.from_rate_and_burst(rate=0.03, mean_burst=8),
+        rng=rng,
+    )
+    tx = channel.transmit(N)
+    delays = np.where(tx.delivered, tx.delays, np.nan)
+    return HeartbeatTrace(send_times=send, delays=delays, name="pareto-stress")
+
+
+def run():
+    trace = build_trace()
+    view = trace.monitor_view()
+    chen = {a: replay(ChenSpec(alpha=a, window=500), view).qos for a in ALPHAS}
+    sfd = replay(
+        SFDSpec(
+            requirements=REQ,
+            sm1=0.02,
+            window=500,
+            slot=SlotConfig(100, reset_on_adjust=True, min_slots=5),
+        ),
+        view,
+    )
+    return trace, chen, sfd
+
+
+def test_heavy_tail_stress(benchmark):
+    trace, chen, sfd = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "run": f"chen a={a}",
+            "TD [s]": f"{q.detection_time:.4f}",
+            "MR [1/s]": f"{q.mistake_rate:.5g}",
+            "QAP [%]": f"{q.query_accuracy * 100:.4f}",
+        }
+        for a, q in chen.items()
+    ]
+    rows.append(
+        {
+            "run": f"sfd ({sfd.status.value}, SM={sfd.final_margin:.3f})",
+            "TD [s]": f"{sfd.qos.detection_time:.4f}",
+            "MR [1/s]": f"{sfd.qos.mistake_rate:.5g}",
+            "QAP [%]": f"{sfd.qos.query_accuracy * 100:.4f}",
+        }
+    )
+    emit(
+        "stress_heavy_tail",
+        f"Pareto(shape=1.4) delays + bursty 3% loss, {trace.total_sent} heartbeats\n"
+        + format_table(rows, title="heavy-tail stress"),
+    )
+
+    qs = [chen[a] for a in ALPHAS]
+    for q in qs:
+        assert 0.0 <= q.query_accuracy <= 1.0
+        assert q.mistake_rate >= 0.0
+        assert np.isfinite(q.detection_time)
+    # Monotone ordering survives the regime.
+    for lo, hi in zip(qs, qs[1:]):
+        assert hi.mistakes <= lo.mistakes
+        assert hi.detection_time > lo.detection_time
+    assert qs[-1].query_accuracy > qs[0].query_accuracy
+    # SFD: inside the band, or an honest infeasibility response.
+    if sfd.status is TuningStatus.INFEASIBLE:
+        assert sfd.tuning  # it tried before responding
+    else:
+        assert sfd.qos.detection_time <= 1.2 * REQ.max_detection_time

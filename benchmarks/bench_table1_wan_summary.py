@@ -1,0 +1,19 @@
+"""Table I — summary of the WAN experiments (sender/receiver hosts).
+
+Static metadata from the published Table I, rendered through the same
+table machinery the dynamic tables use.
+"""
+
+from repro.analysis import format_table, table1_rows
+
+from _common import emit
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1_rows)
+    emit(
+        "table1",
+        format_table(rows, title="Table I: summary of the WAN experiments"),
+    )
+    assert len(rows) == 6
+    assert {r["WAN case"] for r in rows} == {f"WAN-{i}" for i in range(1, 7)}

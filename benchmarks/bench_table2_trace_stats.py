@@ -1,0 +1,56 @@
+"""Table II — per-trace statistics, regenerated from the calibrated
+synthetic traces and printed next to the published values.
+
+The benchmark times the full pipeline: synthesize every WAN case at the
+active ``REPRO_SCALE`` and compute its statistics row.
+"""
+
+import pytest
+
+from repro.analysis import PAPER_TABLE2, format_table, table2_rows
+from repro.analysis.experiments import scaled_heartbeats
+from repro.traces import ALL_PROFILES, synthesize
+
+from _common import SEED, emit
+
+
+def regenerate():
+    traces = [
+        synthesize(p, n=scaled_heartbeats(p), seed=SEED) for p in ALL_PROFILES
+    ]
+    return traces, table2_rows(traces)
+
+
+def paper_rows():
+    out = []
+    for case, vals in PAPER_TABLE2.items():
+        row = {"case": case}
+        for key, v in vals.items():
+            if v is None:
+                row[key] = "n/a"
+            elif isinstance(v, (int,)):
+                row[key] = v
+            else:
+                row[key] = f"{v} ms" if "rate" not in key else v
+        out.append(row)
+    return out
+
+
+def test_table2(benchmark):
+    traces, rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    emit(
+        "table2",
+        format_table(rows, title="Table II (regenerated, scaled traces)")
+        + "\n\n"
+        + format_table(paper_rows(), title="Table II (published values)"),
+    )
+    by_case = {r["case"]: r for r in rows}
+    for trace, prof in zip(traces, ALL_PROFILES):
+        # Calibration: send-period mean within 2% of the published value.
+        from repro.traces import TraceStats
+
+        st = TraceStats.from_trace(trace)
+        assert st.send_period_mean == pytest.approx(prof.send_mean, rel=0.02)
+        if prof.loss_rate:
+            assert st.loss_rate == pytest.approx(prof.loss_rate, rel=0.5)
+    assert set(by_case) == {p.name for p in ALL_PROFILES}

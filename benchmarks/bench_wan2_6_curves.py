@@ -1,0 +1,31 @@
+"""Section V-B replication — WAN-2 … WAN-6.
+
+"A similar behavior can be observed in the different experimental
+settings.  The experimental results from WAN-2 to WAN-6 obtained on the
+PlanetLab are similar to WAN-1."  This bench regenerates both figure
+panels for each remaining PlanetLab case and asserts the same qualitative
+claims as Fig. 9/10 on every one of them.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.traces import WAN_2, WAN_3, WAN_4, WAN_5, WAN_6
+
+from _common import emit, figure_setup
+from _figures import render_figure, run_and_check
+
+
+@pytest.mark.parametrize("profile", [WAN_2, WAN_3, WAN_4, WAN_5, WAN_6])
+def test_wan_case(benchmark, profile):
+    setup = figure_setup(profile)
+    result = benchmark.pedantic(lambda: run_and_check(setup), rounds=1, iterations=1)
+    emit(
+        f"wan_{profile.name.lower()}",
+        render_figure(
+            profile.name,
+            f"{profile.name}: MR/QAP vs detection time (Section V-B)",
+            result,
+        ),
+    )

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Consensus riding on failure detection — the paper's ◊P_ac claim, live.
+
+"From a theoretical view, SFD satisfies the property of the accrual
+failure detector, and also belongs to the class ◊P_ac … which is
+sufficient to solve the consensus problem."  (Section IV-B)
+
+Five cloud nodes must agree on a configuration epoch.  The round-0
+coordinator crashes mid-protocol; each surviving node's failure detector
+(SFD itself!) suspects it, the rotating-coordinator protocol moves to
+round 1, and everyone decides the same valid value.  The same run is then
+repeated with the φ FD and with Chen FD to show the detector is a
+pluggable liveness oracle.
+
+Run:  python examples/consensus_demo.py
+"""
+
+from repro import QoSRequirements, SFD, SlotConfig
+from repro.consensus import ConsensusCluster
+from repro.detectors import ChenFD, PhiFD
+
+VALUES = ["epoch-17", "epoch-18", "epoch-18", "epoch-19", "epoch-17"]
+CRASH = {0: 2.0}  # round-0 coordinator dies before the protocol starts
+START = 3.0       # detectors are warm by then; suspicion, not timeout
+
+
+def factory_sfd(peer: int):
+    req = QoSRequirements(
+        max_detection_time=1.0, max_mistake_rate=1.0, min_query_accuracy=0.9
+    )
+    return SFD(req, sm1=0.05, window_size=10, slot=SlotConfig(20))
+
+
+DETECTORS = {
+    "SFD": factory_sfd,
+    "phi FD": lambda peer: PhiFD(4.0, window_size=10),
+    "Chen FD": lambda peer: ChenFD(0.1, window_size=10),
+}
+
+
+def main() -> None:
+    print("consensus among 5 nodes; round-0 coordinator crashes at t=2 s\n")
+    for name, factory in DETECTORS.items():
+        cluster = ConsensusCluster(
+            VALUES,
+            detector_factory=factory,
+            crash_times=CRASH,
+            start_time=START,
+            seed=42,
+        )
+        out = cluster.run(horizon=30.0)
+        assert out.terminated and out.agreement and out.validity
+        rounds = max(out.rounds[p] for p in out.correct)
+        print(
+            f"  driven by {name:8s}: decided {out.decision!r} "
+            f"in {rounds} round(s), "
+            f"{out.latency - START:.2f} s after the protocol started"
+        )
+    print("\nvalidity + agreement + termination hold for every detector —")
+    print("the failure detector is a pluggable liveness oracle (Section IV-B).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""PlanetLab-style cluster status scan — the paper's motivating scenario.
+
+"PlanetLab … currently consists of 1076 nodes at 494 sites.  While lots of
+nodes are inactive at any time, yet we do not know the exact status
+(active, slow, offline, or dead).  Therefore, it is impractical to login
+one by one without any guidance."  (Section I)
+
+This example simulates a 120-node slice with heterogeneous link quality —
+some nodes healthy, some on congested links, some crashed — and runs one
+monitor hosting a small-window φ detector per node (the one-monitors-
+multiple layer).  It prints the guidance the intro asks for: a status
+table, the list of servers safe to route users to, and the scan's accuracy
+against ground truth.
+
+Run:  python examples/planetlab_scan.py
+"""
+
+import math
+
+from repro.cluster import ClusterScan, NodeSpec, NodeStatus
+from repro.detectors import PhiFD
+
+
+def build_cluster(n: int = 120) -> list[NodeSpec]:
+    nodes = []
+    for i in range(n):
+        if i % 10 == 0:  # crashed mid-experiment
+            crash, delay, loss = 25.0, 0.03, 0.0
+        elif i % 7 == 0:  # congested site: slow, lossy link
+            crash, delay, loss = math.inf, 0.12, 0.05
+        else:  # healthy
+            crash, delay, loss = math.inf, 0.02 + 0.0005 * (i % 20), 0.0
+        nodes.append(
+            NodeSpec(
+                f"planet{i:03d}.site{i % 30:02d}.edu",
+                delay_mean=delay,
+                delay_std=delay / 4,
+                loss_rate=loss,
+                interval=0.2,
+                jitter_std=0.02,
+                crash_time=crash,
+            )
+        )
+    return nodes
+
+
+def main() -> None:
+    nodes = build_cluster()
+    scan = ClusterScan(
+        nodes,
+        detector_factory=lambda nid: PhiFD(3.0, window_size=40),
+        seed=42,
+    )
+    report = scan.run(horizon=60.0)
+
+    counts = report.counts()
+    print("PlanetLab-style scan after 60 s of monitoring")
+    print("=" * 60)
+    for status in NodeStatus:
+        print(f"  {status.value:8s}: {counts[status]:4d} nodes")
+
+    active = scan.table.select(scan.sim.now, NodeStatus.ACTIVE)
+    print(f"\nservers available for user requests: {len(active)}")
+    print("  e.g.", ", ".join(active[:4]), "...")
+
+    flagged = sorted(report.detected | report.false_suspects)
+    print(f"\nnodes flagged as failed: {len(flagged)}")
+    print("  ", ", ".join(flagged[:6]), "...")
+    print(f"\nground truth crashed : {len(report.truth_crashed)}")
+    print(f"detected             : {len(report.detected)}")
+    print(f"missed               : {sorted(report.missed) or 'none'}")
+    print(f"false suspicions     : {sorted(report.false_suspects) or 'none'}")
+    print(f"classification accuracy: {report.accuracy * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

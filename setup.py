@@ -1,0 +1,7 @@
+"""Legacy shim so `python setup.py develop` works offline (no wheel pkg).
+
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,158 @@
+"""repro — a reproduction of "A Self-tuning Failure Detection Scheme for
+Cloud Computing Service" (Xiong et al., IEEE IPDPS 2012).
+
+The library implements the paper's Self-tuning Failure Detector (SFD), the
+general self-tuning feedback method it instantiates, the baseline adaptive
+detectors it compares against (Chen FD, Bertier FD, the φ accrual FD), the
+Chen-style QoS metric machinery, calibrated synthetic WAN traces matching
+the published experiments, a vectorized trace-replay engine, a discrete-
+event simulator with fault injection, an asyncio UDP live runtime, and the
+experiment harness regenerating every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import SFDSpec, QoSRequirements, synthesize, WAN_1, replay
+
+    trace = synthesize(WAN_1, n=50_000, seed=7)
+    req = QoSRequirements(max_detection_time=0.5,
+                          max_mistake_rate=0.01,
+                          min_query_accuracy=0.995)
+    result = replay(SFDSpec(requirements=req, window=500), trace)
+    print(result.qos)            # measured (TD, MR, QAP)
+    print(result.final_margin)   # the tuned safety margin
+"""
+
+from repro.errors import (
+    ReproError,
+    ConfigurationError,
+    NotWarmedUpError,
+    InfeasibleQoSError,
+    TraceFormatError,
+    SimulationError,
+)
+from repro.qos import (
+    QoSReport,
+    QoSRequirements,
+    Satisfaction,
+    classify,
+    QoSCurve,
+    CurvePoint,
+    pareto_front,
+    covered_area,
+)
+from repro.detectors import (
+    FailureDetector,
+    TimeoutFailureDetector,
+    ChenFD,
+    BertierFD,
+    PhiFD,
+    FixedTimeoutFD,
+    QuantileFD,
+)
+from repro.core import (
+    SFD,
+    SlotConfig,
+    TuningRecord,
+    FeedbackController,
+    InfeasiblePolicy,
+    TuningStatus,
+    SelfTuningMonitor,
+    AccrualService,
+    ActionBinding,
+    SuspicionLevel,
+)
+from repro.traces import (
+    HeartbeatTrace,
+    MonitorView,
+    TraceStats,
+    synthesize,
+    WANProfile,
+    WAN_JAIST,
+    WAN_1,
+    WAN_2,
+    WAN_3,
+    WAN_4,
+    WAN_5,
+    WAN_6,
+    ALL_PROFILES,
+    PLANETLAB_PROFILES,
+)
+from repro.consensus import ConsensusCluster, ConsensusOutcome
+from repro.replay import (
+    replay,
+    ReplayResult,
+    ChenSpec,
+    BertierSpec,
+    PhiSpec,
+    FixedSpec,
+    QuantileSpec,
+    SFDSpec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "NotWarmedUpError",
+    "InfeasibleQoSError",
+    "TraceFormatError",
+    "SimulationError",
+    # qos
+    "QoSReport",
+    "QoSRequirements",
+    "Satisfaction",
+    "classify",
+    "QoSCurve",
+    "CurvePoint",
+    "pareto_front",
+    "covered_area",
+    # detectors
+    "FailureDetector",
+    "TimeoutFailureDetector",
+    "ChenFD",
+    "BertierFD",
+    "PhiFD",
+    "FixedTimeoutFD",
+    "QuantileFD",
+    # core
+    "SFD",
+    "SlotConfig",
+    "TuningRecord",
+    "FeedbackController",
+    "InfeasiblePolicy",
+    "TuningStatus",
+    "SelfTuningMonitor",
+    "AccrualService",
+    "ActionBinding",
+    "SuspicionLevel",
+    # traces
+    "HeartbeatTrace",
+    "MonitorView",
+    "TraceStats",
+    "synthesize",
+    "WANProfile",
+    "WAN_JAIST",
+    "WAN_1",
+    "WAN_2",
+    "WAN_3",
+    "WAN_4",
+    "WAN_5",
+    "WAN_6",
+    "ALL_PROFILES",
+    "PLANETLAB_PROFILES",
+    # consensus (Section IV-B's claim, executable)
+    "ConsensusCluster",
+    "ConsensusOutcome",
+    # replay
+    "replay",
+    "ReplayResult",
+    "ChenSpec",
+    "BertierSpec",
+    "PhiSpec",
+    "FixedSpec",
+    "QuantileSpec",
+    "SFDSpec",
+    "__version__",
+]

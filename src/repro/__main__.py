@@ -1,0 +1,8 @@
+"""``python -m repro`` — experiment regeneration CLI (see repro.cli)."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

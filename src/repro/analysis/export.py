@@ -1,0 +1,88 @@
+"""Figure data export — CSV series for external plotting.
+
+The harness renders ASCII tables; anyone who wants the paper's actual
+*plots* (log-scale MR vs TD, QAP vs TD) can export each detector's series
+to CSV and feed their plotting tool of choice — no matplotlib dependency
+in the library.  One file per detector plus a ``manifest.csv`` tying them
+together.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+from repro.qos.area import QoSCurve
+
+__all__ = ["export_curve_csv", "export_figure_csv"]
+
+_FIELDS = (
+    "parameter",
+    "detection_time_s",
+    "mistake_rate_per_s",
+    "query_accuracy",
+    "mistakes",
+    "mistake_time_s",
+    "accounted_time_s",
+)
+
+
+def export_curve_csv(curve: QoSCurve, path: str | Path) -> Path:
+    """Write one detector's swept series as CSV (one row per point).
+
+    Non-finite detection times (e.g. φ's rounding-infeasible thresholds)
+    are written as the literal ``inf`` so downstream tools see where the
+    curve stops.
+    """
+    path = Path(path)
+    with path.open("w", newline="", encoding="ascii") as fh:
+        w = csv.writer(fh)
+        w.writerow(_FIELDS)
+        for p in curve.points:
+            q = p.qos
+            td = q.detection_time
+            w.writerow(
+                [
+                    repr(p.parameter),
+                    "inf" if math.isinf(td) else repr(td),
+                    repr(q.mistake_rate),
+                    repr(q.query_accuracy),
+                    q.mistakes,
+                    repr(q.mistake_time),
+                    repr(q.accounted_time),
+                ]
+            )
+    return path
+
+
+def export_figure_csv(
+    curves: Mapping[str, QoSCurve],
+    directory: str | Path,
+    *,
+    prefix: str = "figure",
+) -> dict[str, Path]:
+    """Write every series of a figure plus a manifest.
+
+    Returns the mapping ``detector -> csv path``; the manifest
+    (``<prefix>_manifest.csv``) lists detector, file, and point count.
+    """
+    if not curves:
+        raise ConfigurationError("no curves to export")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    out: dict[str, Path] = {}
+    for name, curve in curves.items():
+        out[name] = export_curve_csv(
+            curve, directory / f"{prefix}_{name}.csv"
+        )
+    with (directory / f"{prefix}_manifest.csv").open(
+        "w", newline="", encoding="ascii"
+    ) as fh:
+        w = csv.writer(fh)
+        w.writerow(["detector", "file", "points"])
+        for name, path in sorted(out.items()):
+            w.writerow([name, path.name, len(curves[name])])
+    return out

@@ -1,0 +1,88 @@
+"""Plain-text rendering of tables and figure series.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep that output aligned and diff-friendly so
+EXPERIMENTS.md can quote it directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.qos.area import QoSCurve
+from repro.qos.spec import QoSReport
+
+__all__ = ["format_table", "format_curve", "format_figure", "format_qos"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], *, title: str = "") -> str:
+    """Align a list of uniform dict rows into an ASCII table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    headers = list(rows[0].keys())
+    cells = [[str(r.get(h, "")) for h in headers] for r in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_qos(qos: QoSReport) -> str:
+    """Compact one-line QoS rendering."""
+    return (
+        f"TD={qos.detection_time:8.4f}s  MR={qos.mistake_rate:10.6g}/s  "
+        f"QAP={qos.query_accuracy * 100:9.5f}%"
+    )
+
+
+def format_curve(curve: QoSCurve, *, parameter_name: str = "param") -> str:
+    """One detector's swept series as aligned rows."""
+    rows = []
+    for p in curve.points:
+        td = p.detection_time
+        rows.append(
+            {
+                parameter_name: f"{p.parameter:.6g}",
+                "TD [s]": "inf" if math.isinf(td) else f"{td:.4f}",
+                "MR [1/s]": f"{p.mistake_rate:.6g}",
+                "QAP [%]": f"{p.query_accuracy * 100:.5f}",
+            }
+        )
+    return format_table(rows, title=f"detector: {curve.detector}")
+
+
+def format_figure(
+    curves: Mapping[str, QoSCurve],
+    *,
+    title: str,
+    parameter_names: Mapping[str, str] | None = None,
+) -> str:
+    """All series of one figure, in the paper's detector order."""
+    names = parameter_names or {
+        "chen": "alpha [s]",
+        "bertier": "(fixed)",
+        "phi": "Phi",
+        "sfd": "SM1 [s]",
+        "fixed": "timeout [s]",
+        "quantile": "q",
+    }
+    order = ["sfd", "chen", "bertier", "phi", "quantile", "fixed"]
+    parts = [title]
+    for key in order:
+        if key in curves:
+            parts.append(
+                format_curve(curves[key], parameter_name=names.get(key, "param"))
+            )
+    for key, curve in curves.items():  # anything non-standard, stable order
+        if key not in order:
+            parts.append(format_curve(curve, parameter_name=names.get(key, "param")))
+    return "\n\n".join(parts)

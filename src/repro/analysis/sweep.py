@@ -1,0 +1,163 @@
+"""Parameter sweeps producing QoS-space curves.
+
+"The idea is based on the following question: given a set of QoS
+requirements, can the failure detector be parameterized to match these
+requirements? … we measure the area covered by the failure detector when
+we vary its parameter from a highly aggressive behavior to a very
+conservative one" (Section V).  Each function sweeps one detector family
+over a shared :class:`~repro.traces.trace.MonitorView` and returns a
+:class:`~repro.qos.area.QoSCurve` in sweep order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.feedback import InfeasiblePolicy
+from repro.core.sfd import SlotConfig
+from repro.qos.area import QoSCurve
+from repro.qos.spec import QoSRequirements
+from repro.replay.engine import (
+    BertierSpec,
+    ChenSpec,
+    FixedSpec,
+    PhiSpec,
+    QuantileSpec,
+    SFDSpec,
+    replay,
+)
+from repro.traces.trace import MonitorView
+
+__all__ = [
+    "chen_curve",
+    "phi_curve",
+    "bertier_point",
+    "sfd_curve",
+    "fixed_curve",
+    "quantile_curve",
+]
+
+
+def chen_curve(
+    view: MonitorView,
+    alphas: Sequence[float],
+    *,
+    window: int = 1000,
+    nominal_interval: float | None = None,
+) -> QoSCurve:
+    """Chen FD swept over its constant safety margin ``α`` (Eq. 3)."""
+    curve = QoSCurve("chen")
+    for alpha in alphas:
+        res = replay(
+            ChenSpec(alpha=alpha, window=window, nominal_interval=nominal_interval),
+            view,
+        )
+        curve.add(alpha, res.qos)
+    return curve
+
+
+def phi_curve(
+    view: MonitorView,
+    thresholds: Sequence[float],
+    *,
+    window: int = 1000,
+) -> QoSCurve:
+    """φ FD swept over its threshold ``Φ`` (paper range ``[0.5, 16]``).
+
+    Thresholds past the float64 inversion cutoff produce infinite
+    detection times; they stay in the curve (``finite()`` drops them),
+    making the paper's "graphs … stopped early" visible in the data.
+    """
+    curve = QoSCurve("phi")
+    for th in thresholds:
+        res = replay(PhiSpec(threshold=th, window=window), view)
+        curve.add(th, res.qos)
+    return curve
+
+
+def bertier_point(
+    view: MonitorView,
+    *,
+    window: int = 1000,
+    nominal_interval: float | None = None,
+) -> QoSCurve:
+    """Bertier FD — a single point ("it has no dynamic parameters")."""
+    curve = QoSCurve("bertier")
+    res = replay(
+        BertierSpec(window=window, nominal_interval=nominal_interval), view
+    )
+    curve.add(0.0, res.qos)
+    return curve
+
+
+def fixed_curve(
+    view: MonitorView,
+    timeouts: Sequence[float],
+) -> QoSCurve:
+    """Fixed-timeout baseline swept over its static interval."""
+    curve = QoSCurve("fixed")
+    for to in timeouts:
+        res = replay(FixedSpec(timeout=to), view)
+        curve.add(to, res.qos)
+    return curve
+
+
+def quantile_curve(
+    view: MonitorView,
+    quantiles: Sequence[float],
+    *,
+    window: int = 1000,
+) -> QoSCurve:
+    """Quantile-timeout FD swept over ``q`` (the [34-35] family).
+
+    Its conservative reach is capped by the observed inter-arrival maximum
+    — sweeping ``q -> 1`` cannot go past it, unlike Chen's margin."""
+    curve = QoSCurve("quantile")
+    for q in quantiles:
+        res = replay(QuantileSpec(quantile=q, window=window), view)
+        curve.add(q, res.qos)
+    return curve
+
+
+def sfd_curve(
+    view: MonitorView,
+    requirements: QoSRequirements,
+    sm1_values: Sequence[float],
+    *,
+    alpha: float = 0.1,
+    beta: float = 0.5,
+    window: int = 1000,
+    slot: SlotConfig | None = None,
+    nominal_interval: float | None = None,
+    policy: InfeasiblePolicy = InfeasiblePolicy.STOP,
+    sm_max: float = math.inf,
+) -> QoSCurve:
+    """SFD swept over the initial margin ``SM₁`` (Section V: "a list about
+    the initial safety margin SM₁ is given … SM₁ gradually increases").
+
+    Unlike the open-loop detectors, every SM₁ run *self-tunes toward the
+    same requirement*, which is why the resulting curve occupies only the
+    target band instead of the full aggressive-conservative range — the
+    paper's headline observation ("For SFD, there is no data in the too
+    aggressive range … and the too conservative range").
+    """
+    curve = QoSCurve("sfd")
+    slot = slot if slot is not None else SlotConfig()
+    for sm1 in sm1_values:
+        res = replay(
+            SFDSpec(
+                requirements=requirements,
+                sm1=sm1,
+                alpha=alpha,
+                beta=beta,
+                window=window,
+                slot=slot,
+                nominal_interval=nominal_interval,
+                policy=policy,
+                sm_bounds=(0.0, sm_max),
+            ),
+            view,
+        )
+        curve.add(sm1, res.qos)
+    return curve

@@ -1,0 +1,106 @@
+"""Tables I and II: published values and regenerated rows.
+
+Table I lists the PlanetLab sender/receiver host pairs; Table II the
+per-trace statistics.  ``PAPER_TABLE2`` pins the published numbers so
+benches and EXPERIMENTS.md can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.traces.stats import TraceStats
+from repro.traces.trace import HeartbeatTrace
+from repro.traces.wan import PLANETLAB_PROFILES, WANProfile
+
+__all__ = ["table1_rows", "table2_rows", "PAPER_TABLE2"]
+
+
+#: Published Table II values (periods/RTT in milliseconds) plus the
+#: WAN-JAIST numbers from Section V-A1, keyed by case name.
+PAPER_TABLE2: dict[str, dict] = {
+    "WAN-JAIST": {
+        "total (#msg)": 5_845_713,
+        "loss rate": "0.399%",
+        "send (Avg.)": 103.501,
+        "send (stddev)": 0.189,
+        "receive (Avg.)": None,  # not published for this trace
+        "receive (stddev)": None,
+        "RTT (Avg.)": 283.338,
+    },
+    "WAN-1": {
+        "total (#msg)": 6_737_054,
+        "loss rate": "0%",
+        "send (Avg.)": 12.825,
+        "send (stddev)": 13.069,
+        "receive (Avg.)": 12.83,
+        "receive (stddev)": 14.892,
+        "RTT (Avg.)": 193.909,
+    },
+    "WAN-2": {
+        "total (#msg)": 7_477_304,
+        "loss rate": "5%",
+        "send (Avg.)": 12.176,
+        "send (stddev)": 1.219,
+        "receive (Avg.)": 12.206,
+        "receive (stddev)": 19.547,
+        "RTT (Avg.)": 194.959,
+    },
+    "WAN-3": {
+        "total (#msg)": 7_104_446,
+        "loss rate": "2%",
+        "send (Avg.)": 12.21,
+        "send (stddev)": 1.243,
+        "receive (Avg.)": 12.235,
+        "receive (stddev)": 4.768,
+        "RTT (Avg.)": 189.44,
+    },
+    "WAN-4": {
+        "total (#msg)": 7_028_178,
+        "loss rate": "0%",
+        "send (Avg.)": 12.337,
+        "send (stddev)": 9.953,
+        "receive (Avg.)": 12.346,
+        "receive (stddev)": 22.918,
+        "RTT (Avg.)": 172.863,
+    },
+    "WAN-5": {
+        "total (#msg)": 7_008_170,
+        "loss rate": "4%",
+        "send (Avg.)": 12.367,
+        "send (stddev)": 15.599,
+        "receive (Avg.)": 12.94,
+        "receive (stddev)": 16.557,
+        "RTT (Avg.)": 362.423,
+    },
+    "WAN-6": {
+        "total (#msg)": 7_040_560,
+        "loss rate": "0%",
+        "send (Avg.)": 12.33,
+        "send (stddev)": 10.185,
+        "receive (Avg.)": 12.42,
+        "receive (stddev)": 17.56,
+        "RTT (Avg.)": 78.52,
+    },
+}
+
+
+def table1_rows(
+    profiles: Sequence[WANProfile] = PLANETLAB_PROFILES,
+) -> list[dict]:
+    """Table I: sender/receiver sites and hostnames per WAN case."""
+    return [
+        {
+            "WAN case": p.name,
+            "Sender": p.sender,
+            "Sender-hostname": p.sender_host,
+            "Receiver": p.receiver,
+            "Receiver-hostname": p.receiver_host,
+        }
+        for p in profiles
+    ]
+
+
+def table2_rows(traces: Iterable[HeartbeatTrace]) -> list[dict]:
+    """Regenerated Table II rows from (synthetic) traces."""
+    return [TraceStats.from_trace(t).row() for t in traces]

@@ -1,0 +1,301 @@
+"""Command-line interface: regenerate the paper's experiments directly.
+
+Everything the benchmark suite does is also reachable without pytest::
+
+    python -m repro table1
+    python -m repro table2 [--scale 64] [--seed 2012]
+    python -m repro figure --case WAN-1 [--scale 64]
+    python -m repro ablation-window [--scale 64]
+    python -m repro convergence [--sm1 0.005 1.8]
+    python -m repro synth --case WAN-3 -o wan3.npz [-n 100000]
+    python -m repro scan [--nodes 120] [--horizon 60]
+
+Each subcommand prints the same rows/series the corresponding benchmark
+archives under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import (
+    default_setup,
+    format_figure,
+    format_table,
+    run_figure,
+    scaled_heartbeats,
+    table1_rows,
+    table2_rows,
+    window_ablation,
+)
+from repro.core import SlotConfig
+from repro.qos.spec import QoSRequirements
+from repro.replay import SFDSpec, replay
+from repro.traces import ALL_PROFILES, synthesize
+
+__all__ = ["main"]
+
+_PROFILES = {p.name: p for p in ALL_PROFILES}
+
+
+def _profile(name: str):
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown case {name!r}; choose from {', '.join(_PROFILES)}"
+        )
+
+
+def _scaled(profile, scale: float | None) -> int:
+    return scaled_heartbeats(profile, scale)
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    print(format_table(table1_rows(), title="Table I: summary of the WAN experiments"))
+
+
+def cmd_table2(args: argparse.Namespace) -> None:
+    traces = [
+        synthesize(p, n=_scaled(p, args.scale), seed=args.seed)
+        for p in ALL_PROFILES
+    ]
+    print(
+        format_table(
+            table2_rows(traces), title="Table II (regenerated, scaled traces)"
+        )
+    )
+
+
+def cmd_figure(args: argparse.Namespace) -> None:
+    profile = _profile(args.case)
+    setup = default_setup(profile, seed=args.seed)
+    if args.scale is not None:
+        import dataclasses
+
+        setup = dataclasses.replace(
+            setup, n_heartbeats=_scaled(profile, args.scale)
+        )
+    result = run_figure(setup)
+    print(
+        format_figure(
+            result.curves,
+            title=f"{profile.name}: MR/QAP vs detection time "
+            f"({setup.heartbeats()} heartbeats, seed {setup.seed})",
+        )
+    )
+    if args.csv:
+        from repro.analysis import export_figure_csv
+
+        written = export_figure_csv(
+            result.curves, args.csv, prefix=profile.name.lower()
+        )
+        print(f"\nwrote {len(written)} CSV series to {args.csv}/")
+
+
+def cmd_ablation_window(args: argparse.Namespace) -> None:
+    profile = _profile(args.case)
+    out = window_ablation(
+        profile,
+        window_sizes=tuple(args.sizes),
+        seed=args.seed,
+        n=_scaled(profile, args.scale) if args.scale else None,
+    )
+    rows = []
+    for det, per_ws in out.items():
+        for ws, q in per_ws.items():
+            rows.append(
+                {
+                    "detector": det,
+                    "WS": ws,
+                    "TD [s]": f"{q.detection_time:.4f}",
+                    "MR [1/s]": f"{q.mistake_rate:.5g}",
+                    "QAP [%]": f"{q.query_accuracy * 100:.4f}",
+                }
+            )
+    print(format_table(rows, title=f"Window-size ablation ({profile.name})"))
+
+
+def cmd_convergence(args: argparse.Namespace) -> None:
+    profile = _profile(args.case)
+    trace = synthesize(profile, n=_scaled(profile, args.scale), seed=args.seed)
+    req = QoSRequirements(
+        max_detection_time=0.9, max_mistake_rate=0.35, min_query_accuracy=0.99
+    )
+    view = trace.monitor_view()
+    for sm1 in args.sm1:
+        res = replay(
+            SFDSpec(
+                requirements=req,
+                sm1=sm1,
+                alpha=0.1,
+                beta=0.5,
+                slot=SlotConfig(100, reset_on_adjust=True, min_slots=5),
+            ),
+            view,
+        )
+        print(
+            f"SM1={sm1:g}: final SM={res.final_margin:.3f}s, "
+            f"status={res.status.value}, {res.qos}"
+        )
+        for rec in res.tuning:
+            if rec.sm_after != rec.sm_before:
+                print(
+                    f"  slot {rec.slot:4d} t={rec.time:9.1f}s "
+                    f"SM {rec.sm_before:.3f} -> {rec.sm_after:.3f} "
+                    f"[{rec.decision.name}]"
+                )
+
+
+def cmd_synth(args: argparse.Namespace) -> None:
+    profile = _profile(args.case)
+    n = args.n if args.n else _scaled(profile, args.scale)
+    trace = synthesize(profile, n=n, seed=args.seed)
+    trace.save(args.output)
+    print(f"wrote {trace.total_sent} heartbeats ({trace.name}) to {args.output}")
+
+
+def cmd_consensus(args: argparse.Namespace) -> None:
+    from repro.consensus import ConsensusCluster
+    from repro.detectors import PhiFD
+
+    values = [f"value-{i % 3}" for i in range(args.n)]
+    crash_times = {p: args.crash_at for p in range(args.crashes)}
+    cluster = ConsensusCluster(
+        values,
+        detector_factory=lambda p: PhiFD(4.0, window_size=10),
+        crash_times=crash_times,
+        start_time=args.crash_at + 1.0 if args.crashes else 0.0,
+        seed=args.seed,
+    )
+    out = cluster.run(horizon=args.horizon)
+    print(
+        f"consensus among {args.n} processes "
+        f"({args.crashes} crash(es) at t={args.crash_at}s):"
+    )
+    print(f"  decision   : {out.decision!r}")
+    print(f"  terminated : {out.terminated}")
+    print(f"  agreement  : {out.agreement}")
+    print(f"  validity   : {out.validity}")
+    print(f"  latency    : {out.latency:.2f}s")
+    print(f"  rounds     : {max(out.rounds[p] for p in out.correct)}")
+
+
+def cmd_scan(args: argparse.Namespace) -> None:
+    import math
+
+    from repro.cluster import ClusterScan, NodeSpec
+    from repro.detectors import PhiFD
+
+    specs = [
+        NodeSpec(
+            f"node-{i:03d}",
+            crash_time=(args.horizon / 2 if i % 10 == 0 else math.inf),
+            loss_rate=0.02 if i % 7 == 0 else 0.0,
+            interval=0.2,
+        )
+        for i in range(args.nodes)
+    ]
+    scan = ClusterScan(specs, lambda nid: PhiFD(3.0, window_size=40), seed=args.seed)
+    report = scan.run(horizon=args.horizon)
+    counts = {k.value: v for k, v in report.counts().items()}
+    print(f"scan of {args.nodes} nodes after {args.horizon}s: {counts}")
+    print(f"accuracy vs ground truth: {report.accuracy * 100:.1f}%")
+    if report.missed:
+        print(f"missed: {sorted(report.missed)}")
+    if report.false_suspects:
+        print(f"false suspicions: {sorted(report.false_suspects)}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the IPDPS'12 SFD experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, case_default: str | None = None):
+        p.add_argument("--seed", type=int, default=2012)
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=None,
+            help="divide the published heartbeat count (default: REPRO_SCALE or 32)",
+        )
+        if case_default is not None:
+            p.add_argument(
+                "--case",
+                default=case_default,
+                help=f"WAN case ({', '.join(_PROFILES)})",
+            )
+
+    p = sub.add_parser("table1", help="Table I: WAN host pairs")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("table2", help="Table II: regenerated trace statistics")
+    common(p)
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("figure", help="one figure pair (Figs. 6/7, 9/10 style)")
+    common(p, case_default="WAN-1")
+    p.add_argument(
+        "--csv",
+        default=None,
+        metavar="DIR",
+        help="also export each series as CSV into DIR (for plotting)",
+    )
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("ablation-window", help="Section V-C window-size study")
+    common(p, case_default="WAN-JAIST")
+    p.add_argument("--sizes", type=int, nargs="+", default=[100, 500, 1000, 5000])
+    p.set_defaults(func=cmd_ablation_window)
+
+    p = sub.add_parser("convergence", help="SFD self-tuning trajectories")
+    common(p, case_default="WAN-JAIST")
+    p.add_argument("--sm1", type=float, nargs="+", default=[0.005, 1.8])
+    p.set_defaults(func=cmd_convergence)
+
+    p = sub.add_parser("synth", help="write a calibrated synthetic trace (.npz)")
+    common(p, case_default="WAN-1")
+    p.add_argument("-n", type=int, default=None, help="heartbeats to generate")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_synth)
+
+    p = sub.add_parser(
+        "consensus", help="FD-driven consensus with coordinator crashes (DES)"
+    )
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("-n", type=int, default=5, help="group size")
+    p.add_argument("--crashes", type=int, default=1)
+    p.add_argument("--crash-at", type=float, default=2.0)
+    p.add_argument("--horizon", type=float, default=60.0)
+    p.set_defaults(func=cmd_consensus)
+
+    p = sub.add_parser("scan", help="PlanetLab-style cluster status scan (DES)")
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--nodes", type=int, default=120)
+    p.add_argument("--horizon", type=float, default=60.0)
+    p.set_defaults(func=cmd_scan)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""One-monitors-multiple: a membership table of per-node detectors.
+
+A monitor hosting ``N`` independent detector instances — one per monitored
+node — is the paper's "one monitors multiple" case ("based on the parallel
+theory", Section VI): detector state is per-sender, so the extension is a
+table, and SFD's small-window friendliness (Section V-C: "it is able to
+get acceptable performance with very small window size, and it can save
+valuable memory resources") is exactly what makes the table affordable at
+PlanetLab scale.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError, NotWarmedUpError
+from repro.detectors.base import FailureDetector
+from repro.qos.metrics import MistakeAccumulator
+from repro.qos.spec import QoSReport
+
+__all__ = ["NodeStatus", "NodeState", "MembershipTable"]
+
+
+class NodeStatus(enum.Enum):
+    """Four-way node classification from the introduction's PlanetLab list."""
+
+    #: Heartbeats arriving on schedule.
+    ACTIVE = "active"
+    #: Overdue but below the suspicion threshold (busy / heavily loaded).
+    SLOW = "slow"
+    #: Suspicion threshold crossed.
+    SUSPECT = "suspect"
+    #: Far past the threshold (2x) — near-certain crash ("offline or dead").
+    DEAD = "dead"
+    #: Still warming up — no verdict yet.
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class NodeState:
+    """Bookkeeping for one monitored node."""
+
+    node_id: str
+    detector: FailureDetector
+    heartbeats: int = 0
+    last_seq: int = -1
+    last_arrival: float = math.nan
+    stale_dropped: int = 0
+    #: Live QoS accounting (wrong suspicions + TD samples), started when
+    #: the detector warms up; ``None`` when the table was built with
+    #: ``account_qos=False``.
+    accounting: MistakeAccumulator | None = field(default=None, repr=False)
+
+    def qos(self, now: float) -> QoSReport:
+        """Measured output QoS of this node's detector since warm-up.
+
+        The live counterpart of the DES MonitorProcess report: every late
+        heartbeat counted as one wrong suspicion, every freshness point as
+        a detection-time sample (the ``FP − A`` proxy, since live clocks
+        carry no comparable sender stamp).
+        """
+        if self.accounting is None:
+            raise NotWarmedUpError(
+                f"node {self.node_id!r}: QoS accounting disabled or the "
+                "detector has not warmed up yet"
+            )
+        return self.accounting.snapshot(now)
+
+    def status(self, now: float) -> NodeStatus:
+        """Classify via the detector's suspicion level vs its threshold."""
+        if not self.detector.ready:
+            return NodeStatus.UNKNOWN
+        level = self.detector.suspicion(now)
+        threshold = self.detector.binary_threshold()
+        if threshold <= 0.0:
+            # Binary timeout detector: level is overdue seconds.
+            if level == 0.0:
+                return NodeStatus.ACTIVE
+            return NodeStatus.SUSPECT
+        if level < 0.5 * threshold:
+            return NodeStatus.ACTIVE
+        if level <= threshold:
+            return NodeStatus.SLOW
+        if level < 2.0 * threshold:
+            return NodeStatus.SUSPECT
+        return NodeStatus.DEAD
+
+
+class MembershipTable:
+    """Registry of monitored nodes, each with its own detector instance.
+
+    Parameters
+    ----------
+    detector_factory:
+        Called as ``detector_factory(node_id)`` to build a fresh detector
+        when a node is registered (or first heard from, when
+        ``auto_register`` is set).
+    auto_register:
+        Accept heartbeats from unknown nodes by registering them on the
+        fly (how a PlanetLab-style open monitor behaves).
+    """
+
+    def __init__(
+        self,
+        detector_factory: Callable[[str], FailureDetector],
+        *,
+        auto_register: bool = True,
+        account_qos: bool = False,
+    ):
+        self._factory = detector_factory
+        self._auto = auto_register
+        self._account = account_qos
+        self._nodes: dict[str, NodeState] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def register(self, node_id: str) -> NodeState:
+        """Add a node explicitly; idempotent."""
+        state = self._nodes.get(node_id)
+        if state is None:
+            state = NodeState(node_id=node_id, detector=self._factory(node_id))
+            self._nodes[node_id] = state
+        return state
+
+    def remove(self, node_id: str) -> None:
+        self._nodes.pop(node_id, None)
+
+    def heartbeat(
+        self, node_id: str, seq: int, arrival: float, send_time: float | None = None
+    ) -> NodeState:
+        """Feed one heartbeat from ``node_id`` (stale sequences dropped)."""
+        state = self._nodes.get(node_id)
+        if state is None:
+            if not self._auto:
+                raise ConfigurationError(f"unknown node {node_id!r}")
+            state = self.register(node_id)
+        if seq <= state.last_seq:
+            state.stale_dropped += 1
+            return state
+        det = state.detector
+        was_ready = det.ready
+        if self._account and was_ready and state.accounting is not None:
+            # DESIGN.md §5 semantics, live: a late arrival reveals one
+            # wrong suspicion against the freshness point that guarded it.
+            try:
+                fp_prev = det.freshness_point()  # type: ignore[attr-defined]
+            except AttributeError:  # pragma: no cover - exotic detectors
+                fp_prev = math.inf
+            start = max(fp_prev, state.last_arrival)
+            if arrival > start:
+                state.accounting.add_mistake(start, arrival)
+        det.observe(seq, arrival, send_time)
+        state.last_seq = seq
+        state.last_arrival = arrival
+        state.heartbeats += 1
+        if self._account and det.ready:
+            if not was_ready:
+                state.accounting = MistakeAccumulator(t_begin=arrival)
+            try:
+                fp = det.freshness_point()  # type: ignore[attr-defined]
+            except AttributeError:  # pragma: no cover
+                fp = arrival
+            origin = send_time if send_time is not None else arrival
+            assert state.accounting is not None
+            state.accounting.add_detection_sample(fp - origin)
+        return state
+
+    def node(self, node_id: str) -> NodeState:
+        state = self._nodes.get(node_id)
+        if state is None:
+            raise ConfigurationError(f"unknown node {node_id!r}")
+        return state
+
+    def nodes(self) -> tuple[NodeState, ...]:
+        return tuple(self._nodes.values())
+
+    def statuses(self, now: float) -> dict[str, NodeStatus]:
+        """Snapshot every node's status at ``now``."""
+        return {nid: st.status(now) for nid, st in self._nodes.items()}
+
+    def summary(self, now: float) -> dict[NodeStatus, int]:
+        """Counts per status — the "guidance" the intro asks for."""
+        out = {status: 0 for status in NodeStatus}
+        for st in self._nodes.values():
+            out[st.status(now)] += 1
+        return out
+
+    def select(self, now: float, status: NodeStatus) -> list[str]:
+        """Node ids currently in ``status`` (e.g. the ACTIVE servers a
+        cloud user should be routed to)."""
+        return [nid for nid, st in self._nodes.items() if st.status(now) is status]
+
+    def expire(self, now: float, *, silent_for: float) -> list[str]:
+        """Evict nodes whose last heartbeat is older than ``silent_for``.
+
+        Long-dead entries would otherwise accumulate forever in an
+        auto-registering table (churny clusters like PlanetLab register
+        nodes that never come back).  Nodes that have not yet heartbeat at
+        all are never expired here.  Returns the evicted ids (sorted).
+        """
+        if silent_for <= 0:
+            raise ConfigurationError(
+                f"silent_for must be > 0, got {silent_for!r}"
+            )
+        stale = sorted(
+            nid
+            for nid, st in self._nodes.items()
+            if st.heartbeats > 0 and now - st.last_arrival > silent_for
+        )
+        for nid in stale:
+            del self._nodes[nid]
+        return stale

@@ -1,0 +1,109 @@
+"""Multiple-monitor-multiple: quorum aggregation across monitors.
+
+When several monitors watch the same nodes over *different* network paths
+(the cross-cloud accesses of Fig. 1), their verdicts differ: a congested
+path can make one monitor suspect a node other monitors still trust.  A
+:class:`MonitorGroup` aggregates per-monitor
+:class:`~repro.cluster.membership.MembershipTable` snapshots into a quorum
+verdict, the standard way to turn unreliable local detectors into a more
+accurate global one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.cluster.membership import MembershipTable, NodeStatus
+
+__all__ = ["QuorumVerdict", "MonitorGroup"]
+
+#: Statuses counted as "this monitor suspects the node".
+_SUSPECTING = frozenset({NodeStatus.SUSPECT, NodeStatus.DEAD})
+
+
+@dataclass(frozen=True, slots=True)
+class QuorumVerdict:
+    """Aggregated opinion about one node.
+
+    Attributes
+    ----------
+    node_id:
+        The node judged.
+    suspecting:
+        Monitors whose status is SUSPECT or DEAD.
+    observing:
+        Monitors with *any* verdict (UNKNOWN monitors abstain).
+    crashed:
+        True when ``suspecting >= quorum`` among observers.
+    statuses:
+        Raw per-monitor statuses, keyed by monitor name.
+    """
+
+    node_id: str
+    suspecting: int
+    observing: int
+    crashed: bool
+    statuses: dict[str, NodeStatus]
+
+
+class MonitorGroup:
+    """A set of named monitors voting on node liveness.
+
+    Parameters
+    ----------
+    quorum:
+        Minimum number of suspecting monitors to declare a node crashed.
+        Defaults to a strict majority of the monitors that currently have
+        an opinion (abstentions excluded).
+    """
+
+    def __init__(self, quorum: int | None = None):
+        if quorum is not None and quorum < 1:
+            raise ConfigurationError(f"quorum must be >= 1, got {quorum!r}")
+        self._quorum = quorum
+        self._monitors: dict[str, MembershipTable] = {}
+
+    def add_monitor(self, name: str, table: MembershipTable) -> None:
+        if name in self._monitors:
+            raise ConfigurationError(f"monitor {name!r} already in the group")
+        self._monitors[name] = table
+
+    @property
+    def monitors(self) -> dict[str, MembershipTable]:
+        return dict(self._monitors)
+
+    def _required(self, observing: int) -> int:
+        if self._quorum is not None:
+            return self._quorum
+        return observing // 2 + 1  # strict majority of opinions
+
+    def verdict(self, node_id: str, now: float) -> QuorumVerdict:
+        """Aggregate the group's opinion about ``node_id`` at ``now``."""
+        statuses: dict[str, NodeStatus] = {}
+        for name, table in self._monitors.items():
+            if node_id in table:
+                statuses[name] = table.node(node_id).status(now)
+        observing = sum(1 for s in statuses.values() if s is not NodeStatus.UNKNOWN)
+        suspecting = sum(1 for s in statuses.values() if s in _SUSPECTING)
+        crashed = observing > 0 and suspecting >= self._required(observing)
+        return QuorumVerdict(
+            node_id=node_id,
+            suspecting=suspecting,
+            observing=observing,
+            crashed=crashed,
+            statuses=statuses,
+        )
+
+    def all_nodes(self) -> set[str]:
+        """Union of node ids across all member monitors."""
+        ids: set[str] = set()
+        for table in self._monitors.values():
+            ids.update(st.node_id for st in table.nodes())
+        return ids
+
+    def crashed_nodes(self, now: float) -> list[str]:
+        """Nodes the group currently declares crashed (sorted)."""
+        return sorted(
+            nid for nid in self.all_nodes() if self.verdict(nid, now).crashed
+        )

@@ -1,0 +1,32 @@
+"""Consensus on top of unreliable failure detection (Section IV-B's claim).
+
+The paper places SFD "in the class ◊P_ac (accruement property and upper
+bound property), which is sufficient to solve the consensus problem."
+This subpackage makes that claim executable: a rotating-coordinator
+consensus protocol in the style of Chandra & Toueg's ◊S algorithm runs on
+the discrete-event simulator, using any of this library's failure
+detectors (SFD, Chen, Bertier, φ) to suspect a crashed coordinator and
+advance rounds — the canonical *application* layer a failure detection
+service exists to serve (the paper's references [21-25]).
+
+Model notes: processes are crash-stop (Section II-B); a majority of
+processes must be correct (the ◊S requirement); message channels may lose
+messages, which the protocol masks by per-round retransmission (the
+standard reduction of reliable to fair-lossy links — the paper's reference
+[17], Basu, Charron-Bost & Toueg).
+"""
+
+from repro.consensus.protocol import (
+    ConsensusProcess,
+    ConsensusMessage,
+    MessageKind,
+)
+from repro.consensus.cluster import ConsensusCluster, ConsensusOutcome
+
+__all__ = [
+    "ConsensusProcess",
+    "ConsensusMessage",
+    "MessageKind",
+    "ConsensusCluster",
+    "ConsensusOutcome",
+]

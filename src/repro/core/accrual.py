@@ -1,0 +1,141 @@
+"""Multi-application accrual service (Section IV-C1).
+
+Accrual detectors decouple *monitoring* from *interpretation*: the detector
+outputs a continuous suspicion level, and "some values … are left for the
+applications to interpret".  Several applications running concurrently can
+bind different thresholds to the same monitor — "an application may take
+precautionary network measures when the confidence in a suspicion reaches a
+given low level, while it takes successively more drastic actions once the
+doubt progresses to higher levels" (Section I).
+
+:class:`AccrualService` hosts one accrual detector (φ FD or SFD) and any
+number of named threshold bindings with optional callbacks; querying it at
+a time returns, per binding, whether the threshold is crossed, and fires
+the callbacks on rising edges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.detectors.base import FailureDetector
+
+__all__ = ["SuspicionLevel", "ActionBinding", "AccrualService"]
+
+
+class SuspicionLevel(enum.IntEnum):
+    """Coarse qualitative bands over an accrual scale.
+
+    The intro's PlanetLab motivation wants node statuses beyond binary
+    ("active, slow, offline, or dead"); these bands are the standard
+    four-way reading of an accrual level against a binding's threshold.
+    """
+
+    #: Level below half the threshold: heartbeats on schedule.
+    ACTIVE = 0
+    #: Level in [threshold/2, threshold): overdue but within confidence.
+    SLOW = 1
+    #: Level in [threshold, 2*threshold): suspicion crossed.
+    SUSPECT = 2
+    #: Level >= 2*threshold: near-certain crash.
+    DEAD = 3
+
+    @classmethod
+    def from_level(cls, level: float, threshold: float) -> "SuspicionLevel":
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be > 0, got {threshold!r}")
+        if level < 0.5 * threshold:
+            return cls.ACTIVE
+        if level < threshold:
+            return cls.SLOW
+        if level < 2.0 * threshold:
+            return cls.SUSPECT
+        return cls.DEAD
+
+
+@dataclass
+class ActionBinding:
+    """One application's threshold and reaction.
+
+    Attributes
+    ----------
+    name:
+        Application identifier (unique within a service).
+    threshold:
+        Suspicion level at which this application reacts (its ``Φ``).
+    on_suspect:
+        Optional callback fired on the rising edge (trust → suspect).
+    on_trust:
+        Optional callback fired on the falling edge (suspect → trust).
+    """
+
+    name: str
+    threshold: float
+    on_suspect: Callable[[str, float], None] | None = None
+    on_trust: Callable[[str, float], None] | None = None
+    _suspecting: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ConfigurationError(
+                f"binding threshold must be > 0, got {self.threshold!r}"
+            )
+
+
+class AccrualService:
+    """Per-process interpretation layer over one accrual detector.
+
+    Parameters
+    ----------
+    detector:
+        Any detector whose :meth:`~repro.detectors.base.FailureDetector.suspicion`
+        returns an accrual scale (φ FD, SFD).
+    """
+
+    def __init__(self, detector: FailureDetector):
+        self.detector = detector
+        self._bindings: dict[str, ActionBinding] = {}
+
+    def bind(self, binding: ActionBinding) -> None:
+        """Register an application binding (name must be new)."""
+        if binding.name in self._bindings:
+            raise ConfigurationError(f"binding {binding.name!r} already registered")
+        self._bindings[binding.name] = binding
+
+    def unbind(self, name: str) -> None:
+        self._bindings.pop(name, None)
+
+    @property
+    def bindings(self) -> tuple[ActionBinding, ...]:
+        return tuple(self._bindings.values())
+
+    def level(self, now: float) -> float:
+        """Raw accrual suspicion level at ``now``."""
+        return self.detector.suspicion(now)
+
+    def poll(self, now: float) -> dict[str, bool]:
+        """Evaluate every binding at ``now`` and fire edge callbacks.
+
+        Returns the mapping ``name -> currently suspecting``.
+        """
+        level = self.level(now)
+        out: dict[str, bool] = {}
+        for b in self._bindings.values():
+            suspecting = level > b.threshold
+            if suspecting and not b._suspecting and b.on_suspect is not None:
+                b.on_suspect(b.name, level)
+            if not suspecting and b._suspecting and b.on_trust is not None:
+                b.on_trust(b.name, level)
+            b._suspecting = suspecting
+            out[b.name] = suspecting
+        return out
+
+    def classify(self, now: float, *, binding: str) -> SuspicionLevel:
+        """Qualitative band of the current level for one binding."""
+        b = self._bindings.get(binding)
+        if b is None:
+            raise ConfigurationError(f"unknown binding {binding!r}")
+        return SuspicionLevel.from_level(self.level(now), b.threshold)

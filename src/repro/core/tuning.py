@@ -1,0 +1,192 @@
+"""The *general* self-tuning method applied to any timeout detector.
+
+Section IV-A is explicit that the feedback scheme is not SFD-specific:
+"This method is general, and can be applied to the other adaptive
+timeout-based FD schemes."  :class:`SelfTuningMonitor` realizes that claim:
+it hosts any :class:`~repro.detectors.base.TimeoutFailureDetector` whose
+conservativeness is controlled by one scalar attribute (Chen's ``alpha``,
+φ's ``threshold``, the fixed detector's ``fixed_timeout`` …), performs the
+same streaming QoS self-accounting as SFD, and nudges the knob once per
+time slot through the shared :class:`~repro.core.feedback.FeedbackController`.
+
+The knob must be *monotone*: increasing it must make the detector more
+conservative (larger TD, fewer mistakes).  Every detector in this library
+satisfies that for the attributes named above.
+
+Wrapping :class:`~repro.detectors.chen.ChenFD` on ``alpha`` reproduces SFD
+exactly (SFD *is* self-tuned Chen with an accrual face); the test suite
+asserts the two freshness-point trajectories coincide.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, NotWarmedUpError
+from repro.detectors.base import TimeoutFailureDetector
+from repro.core.feedback import (
+    FeedbackController,
+    FeedbackDriver,
+    InfeasiblePolicy,
+    SlotConfig,
+    TuningRecord,
+    TuningStatus,
+)
+from repro.qos.metrics import MistakeAccumulator
+from repro.qos.spec import QoSReport, QoSRequirements, Satisfaction
+
+__all__ = ["SelfTuningMonitor"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Knob:
+    """Accessor for the wrapped detector's scalar parameter."""
+
+    attribute: str
+    minimum: float
+    maximum: float
+
+    def get(self, detector: TimeoutFailureDetector) -> float:
+        return float(getattr(detector, self.attribute))
+
+    def set(self, detector: TimeoutFailureDetector, value: float) -> None:
+        setattr(detector, self.attribute, min(max(value, self.minimum), self.maximum))
+
+
+class SelfTuningMonitor:
+    """Wrap a timeout detector with the paper's general feedback loop.
+
+    Parameters
+    ----------
+    detector:
+        Any streaming timeout detector.  The monitor owns the feeding of
+        heartbeats: call :meth:`observe` on the monitor, not the detector.
+    knob:
+        Name of the scalar attribute to tune (must increase
+        conservativeness monotonically).
+    requirements:
+        Target QoS bounds.
+    alpha, beta, policy:
+        Feedback parameters, as in :class:`~repro.core.sfd.SFD`.
+    slot:
+        Adjustment cadence.
+    knob_bounds:
+        Clamp for the tuned attribute (default ``[0, inf)``).
+    """
+
+    def __init__(
+        self,
+        detector: TimeoutFailureDetector,
+        knob: str,
+        requirements: QoSRequirements,
+        *,
+        alpha: float = 0.1,
+        beta: float = 0.5,
+        slot: SlotConfig | None = None,
+        policy: InfeasiblePolicy = InfeasiblePolicy.STOP,
+        knob_bounds: tuple[float, float] = (0.0, math.inf),
+    ):
+        if not hasattr(detector, knob):
+            raise ConfigurationError(
+                f"{type(detector).__name__} has no attribute {knob!r} to tune"
+            )
+        lo, hi = knob_bounds
+        if not (lo <= hi):
+            raise ConfigurationError(f"invalid knob_bounds {knob_bounds!r}")
+        self.detector = detector
+        self.requirements = requirements
+        self.slot = slot if slot is not None else SlotConfig()
+        self._knob = _Knob(knob, float(lo), float(hi))
+        self._driver = FeedbackDriver(
+            FeedbackController(requirements, alpha=alpha, beta=beta, policy=policy),
+            self.slot,
+        )
+        self._acc: MistakeAccumulator | None = None
+        self._hb_in_slot = 0
+        self._slot_index = 0
+        self._trace: list[TuningRecord] = []
+
+    def observe(self, seq: int, arrival: float, send_time: float | None = None) -> None:
+        """Feed one heartbeat; account QoS; adjust the knob at slot ends."""
+        arrival = float(arrival)
+        was_ready = self.detector.ready
+        if was_ready and self._acc is not None:
+            fp_prev = self.detector.freshness_point()
+            start = max(fp_prev, self.detector.last_arrival)
+            if arrival > start:
+                self._acc.add_mistake(start, arrival)
+        self.detector.observe(seq, arrival, send_time)
+        if not self.detector.ready:
+            return
+        if not was_ready:
+            self._acc = MistakeAccumulator(t_begin=arrival)
+        assert self._acc is not None
+        origin = send_time if send_time is not None else arrival
+        self._acc.add_detection_sample(self.detector.freshness_point() - origin)
+        self._hb_in_slot += 1
+        if self._hb_in_slot >= self.slot.heartbeats:
+            self._hb_in_slot = 0
+            self._end_slot(arrival)
+
+    def _end_slot(self, now: float) -> None:
+        assert self._acc is not None
+        acc = self._acc
+        before = self._knob.get(self.detector)
+        delta, snapshot = self._driver.end_slot(
+            acc.t_begin, now, acc.mistakes, acc.mistake_time, acc.td_sum, acc.td_count
+        )
+        self._slot_index += 1
+        if snapshot is None:
+            return
+        self._knob.set(self.detector, before + delta)
+        self._trace.append(
+            TuningRecord(
+                slot=self._slot_index,
+                time=now,
+                sm_before=before,
+                sm_after=self._knob.get(self.detector),
+                decision=self._driver.controller.last_decision or Satisfaction.STABLE,
+                qos=snapshot,
+            )
+        )
+
+    # Pass-through queries -------------------------------------------- #
+
+    @property
+    def ready(self) -> bool:
+        return self.detector.ready
+
+    def suspects(self, now: float) -> bool:
+        return self.detector.suspects(now)
+
+    def suspicion(self, now: float) -> float:
+        return self.detector.suspicion(now)
+
+    def freshness_point(self) -> float:
+        return self.detector.freshness_point()
+
+    @property
+    def knob_value(self) -> float:
+        """Current value of the tuned attribute."""
+        return self._knob.get(self.detector)
+
+    def update_requirements(self, requirements: QoSRequirements) -> None:
+        """Re-target the feedback loop at a new QoS contract at runtime."""
+        self.requirements = requirements
+        self._driver.controller.update_requirements(requirements)
+
+    @property
+    def status(self) -> TuningStatus:
+        if not self.detector.ready:
+            return TuningStatus.WARMUP
+        return self._driver.status
+
+    @property
+    def tuning_trace(self) -> list[TuningRecord]:
+        return self._trace
+
+    def qos_snapshot(self, now: float) -> QoSReport:
+        if self._acc is None:
+            raise NotWarmedUpError("monitor has no accounting before warm-up ends")
+        return self._acc.snapshot(float(now))

@@ -1,0 +1,90 @@
+"""Bertier FD — Chen's estimator with a Jacobson-style dynamic margin.
+
+Bertier, Marin & Sens (DSN'02/'03) replace Chen's constant safety margin
+with one adapted from the running estimation error, Eqs. (4-8)::
+
+    error_k   = A_k − EA_k − delay_k
+    delay_k+1 = delay_k + γ·error_k
+    var_k+1   = var_k + γ·(|error_k| − var_k)
+    α_k+1     = β·delay_k+1 + φ·var_k+1
+    τ_k+1     = EA_k+1 + α_k+1
+
+With the paper's typical values ``β = 1, φ = 4, γ = 0.1`` the detector "has
+no dynamic parameter, and has only one aggressive performance value"
+(Section IV-B) — it contributes a single point, not a curve, to the QoS
+figures.  Designed for wired LANs where losses are rare (Section I).
+"""
+
+from __future__ import annotations
+
+from repro.detectors.base import TimeoutFailureDetector
+from repro.detectors.estimation import ChenEstimator, JacobsonEstimator
+from repro.detectors.window import HeartbeatWindow
+
+__all__ = ["BertierFD"]
+
+
+class BertierFD(TimeoutFailureDetector):
+    """Bertier's adaptive failure detector.
+
+    Parameters
+    ----------
+    beta, phi, gamma:
+        Jacobson-margin gains; the paper fixes them at 1, 4, 0.1.
+    window_size:
+        Sliding window for the Chen EA estimator (paper default 1000).
+    nominal_interval:
+        Fixed ``Δ`` if known, else windowed estimate (default).
+    """
+
+    name = "bertier"
+
+    def __init__(
+        self,
+        *,
+        beta: float = 1.0,
+        phi: float = 4.0,
+        gamma: float = 0.1,
+        window_size: int = 1000,
+        nominal_interval: float | None = None,
+    ):
+        super().__init__(warmup=max(2, window_size))
+        self._window = HeartbeatWindow(window_size)
+        self._estimator = ChenEstimator(self._window, nominal_interval)
+        self._margin = JacobsonEstimator(beta=beta, phi=phi, gamma=gamma)
+        self._pending_error: float | None = None
+
+    @property
+    def window_size(self) -> int:
+        return self._window.capacity
+
+    @property
+    def margin(self) -> float:
+        """Current dynamic safety margin ``α``."""
+        return self._margin.margin()
+
+    def _ingest(self, seq: int, arrival: float, send_time: float | None) -> None:
+        # The margin learns from the error of the *previous* prediction,
+        # which only exists once the estimator could predict (>= 2 samples).
+        if len(self._window) >= 2:
+            ea_prev = self._estimator.expected_arrival()  # predicted for this seq
+            # Losses shift the prediction target: EA predicted last_seq+1,
+            # scale forward by any gap at the estimated interval.
+            gap = seq - (self._window.last_seq + 1)
+            if gap > 0:
+                ea_prev += gap * self._estimator.interval()
+            self._pending_error = arrival - ea_prev
+        self._window.push(seq, arrival)
+        if self._pending_error is not None:
+            self._margin.update(self._pending_error)
+            self._pending_error = None
+
+    def _next_freshness(self) -> float:
+        return self._estimator.expected_arrival() + self._margin.margin()
+
+    def reset(self) -> None:
+        self._window.clear()
+        self._observed = 0
+        self._margin.delay = 0.0
+        self._margin.var = 0.0
+        self._pending_error = None

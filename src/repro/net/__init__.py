@@ -1,0 +1,41 @@
+"""Network substrate: delays, losses, unreliable channels, clocks.
+
+The paper's channel model (Section II-B) is a unidirectional *unreliable*
+channel: no message creation, alteration, or duplication, but losses are
+possible; message delays are unpredictable.  This subpackage provides that
+channel plus the parameterizable delay/loss/clock models used to calibrate
+synthetic traces to the published WAN statistics (Table II) and to drive
+the discrete-event simulator.
+"""
+
+from repro.net.delay import (
+    DelayModel,
+    ConstantDelay,
+    NormalDelay,
+    LogNormalDelay,
+    GammaDelay,
+    SpikeDelay,
+)
+from repro.net.loss import LossModel, BernoulliLoss, GilbertElliottLoss, NoLoss
+from repro.net.pareto import ParetoTailDelay
+from repro.net.channel import UnreliableChannel, Transmission
+from repro.net.drift import ClockModel, PerfectClock, DriftingClock
+
+__all__ = [
+    "DelayModel",
+    "ConstantDelay",
+    "NormalDelay",
+    "LogNormalDelay",
+    "GammaDelay",
+    "SpikeDelay",
+    "ParetoTailDelay",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "UnreliableChannel",
+    "Transmission",
+    "ClockModel",
+    "PerfectClock",
+    "DriftingClock",
+]

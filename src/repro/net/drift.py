@@ -1,0 +1,56 @@
+"""Local clock models.
+
+"Processes have access to a local clock device used to measure the passage
+of time" (Section II-B); clocks are *not* synchronized, and the paper notes
+WAN-1's logs show a slight drift (send period 12.825 ms vs receive period
+12.83 ms).  Clock models map global (simulation) time to a process-local
+reading so traces and the DES can reproduce offset and drift effects.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ClockModel", "PerfectClock", "DriftingClock"]
+
+
+class ClockModel(abc.ABC):
+    """Mapping from global time to a local clock reading."""
+
+    @abc.abstractmethod
+    def read(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Local reading(s) for global time(s) ``t``; monotone in ``t``."""
+
+
+class PerfectClock(ClockModel):
+    """Identity clock (global == local)."""
+
+    def read(self, t: np.ndarray | float) -> np.ndarray | float:
+        return t
+
+
+class DriftingClock(ClockModel):
+    """Affine clock: ``local = offset + (1 + drift) · t``.
+
+    Parameters
+    ----------
+    offset:
+        Initial phase offset, seconds.
+    drift:
+        Fractional rate error; e.g. WAN-1's observed period ratio
+        12.83/12.825 corresponds to ``drift ≈ 3.9e-4``.  Must exceed −1
+        (clocks always run forward).
+    """
+
+    def __init__(self, offset: float = 0.0, drift: float = 0.0):
+        if drift <= -1.0:
+            raise ConfigurationError(f"drift must be > -1, got {drift!r}")
+        self.offset = float(offset)
+        self.drift = float(drift)
+
+    def read(self, t: np.ndarray | float) -> np.ndarray | float:
+        return self.offset + (1.0 + self.drift) * np.asarray(t, dtype=np.float64)

@@ -1,0 +1,61 @@
+"""Pareto (power-law) tail delay — the heaviest-tailed option.
+
+Internet delay tails are sometimes heavier than lognormal (long-memory
+queues, route flaps); a Pareto tail gives the detectors a genuinely
+adversarial delay regime for stress ablations.  Kept in its own module
+because — unlike the other delay models — a Pareto tail with shape
+``a ≤ 2`` has infinite variance, so moment-based calibration does not
+apply and the constructor is parameterized by (shape, scale) directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.delay import DelayModel
+
+__all__ = ["ParetoTailDelay"]
+
+
+class ParetoTailDelay(DelayModel):
+    """Floor plus a Pareto(Lomax) tail.
+
+    ``d = floor + scale · X`` where ``X`` is Lomax(shape): density
+    ``a·(1+x)^{−a−1}``, mean ``1/(a−1)`` for ``a > 1``, infinite variance
+    for ``a ≤ 2``.
+
+    Parameters
+    ----------
+    floor:
+        Deterministic propagation component, seconds.
+    scale:
+        Tail scale, seconds.
+    shape:
+        Tail index ``a > 1`` (heavier as it approaches 1).
+    """
+
+    def __init__(self, floor: float, scale: float, shape: float):
+        if floor < 0:
+            raise ConfigurationError(f"floor must be >= 0, got {floor!r}")
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be > 0, got {scale!r}")
+        if shape <= 1.0:
+            raise ConfigurationError(
+                f"shape must be > 1 for a finite mean, got {shape!r}"
+            )
+        self.floor = float(floor)
+        self.scale = float(scale)
+        self.shape = float(shape)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # Lomax via inverse CDF: X = (1-U)^{-1/a} - 1.
+        u = rng.random(n)
+        return self.floor + self.scale * ((1.0 - u) ** (-1.0 / self.shape) - 1.0)
+
+    def mean(self) -> float:
+        return self.floor + self.scale / (self.shape - 1.0)
+
+    @property
+    def has_finite_variance(self) -> bool:
+        return self.shape > 2.0

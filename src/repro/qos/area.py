@@ -1,0 +1,192 @@
+"""QoS-space curves and the "area covered" methodology of Section V.
+
+The paper warns that comparing parametric failure detectors at arbitrary
+parameter values "almost always leads to the erroneous conclusion that one
+is better for detection time while the other provides higher accuracy".
+Instead it sweeps each detector's parameter from aggressive to conservative
+and studies the *curve* each detector traces in the plane spanned by
+detection time and an accuracy metric, plus the area of QoS requirements
+that curve can satisfy.  This module provides those curve objects, Pareto
+utilities, and the covered-area measure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.qos.spec import QoSReport
+
+__all__ = ["CurvePoint", "QoSCurve", "dominates", "pareto_front", "covered_area"]
+
+
+@dataclass(frozen=True, slots=True)
+class CurvePoint:
+    """One swept parameter value and the QoS it produced."""
+
+    parameter: float
+    qos: QoSReport
+
+    @property
+    def detection_time(self) -> float:
+        return self.qos.detection_time
+
+    @property
+    def mistake_rate(self) -> float:
+        return self.qos.mistake_rate
+
+    @property
+    def query_accuracy(self) -> float:
+        return self.qos.query_accuracy
+
+
+def dominates(a: QoSReport, b: QoSReport) -> bool:
+    """True when ``a`` is at least as good as ``b`` on TD/MR/QAP and
+    strictly better on at least one axis (lower TD, lower MR, higher QAP)."""
+    no_worse = (
+        a.detection_time <= b.detection_time
+        and a.mistake_rate <= b.mistake_rate
+        and a.query_accuracy >= b.query_accuracy
+    )
+    strictly_better = (
+        a.detection_time < b.detection_time
+        or a.mistake_rate < b.mistake_rate
+        or a.query_accuracy > b.query_accuracy
+    )
+    return no_worse and strictly_better
+
+
+@dataclass
+class QoSCurve:
+    """A detector's swept curve in QoS space (one figure series).
+
+    Points keep sweep order — the paper notes that "when the parameter
+    continuously changes in sequential order the graph is serially
+    developing", so order carries meaning.
+    """
+
+    detector: str
+    points: list[CurvePoint] = field(default_factory=list)
+
+    def add(self, parameter: float, qos: QoSReport) -> None:
+        self.points.append(CurvePoint(parameter, qos))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[CurvePoint]:
+        return iter(self.points)
+
+    def detection_times(self) -> np.ndarray:
+        return np.array([p.detection_time for p in self.points], dtype=np.float64)
+
+    def mistake_rates(self) -> np.ndarray:
+        return np.array([p.mistake_rate for p in self.points], dtype=np.float64)
+
+    def query_accuracies(self) -> np.ndarray:
+        return np.array([p.query_accuracy for p in self.points], dtype=np.float64)
+
+    def parameters(self) -> np.ndarray:
+        return np.array([p.parameter for p in self.points], dtype=np.float64)
+
+    def finite(self) -> "QoSCurve":
+        """Drop points whose TD is non-finite (e.g. the φ FD's rounding
+        cutoff in the conservative range produces infinite timeouts)."""
+        kept = [p for p in self.points if math.isfinite(p.detection_time)]
+        return QoSCurve(self.detector, kept)
+
+    def span(self) -> tuple[float, float]:
+        """(min, max) finite detection time reached by the sweep."""
+        tds = self.finite().detection_times()
+        if tds.size == 0:
+            return (math.nan, math.nan)
+        return (float(tds.min()), float(tds.max()))
+
+
+def pareto_front(points: Iterable[CurvePoint]) -> list[CurvePoint]:
+    """Non-dominated subset of ``points`` (TD↓, MR↓, QAP↑), sweep order kept."""
+    pts = list(points)
+    return [
+        p
+        for p in pts
+        if not any(dominates(q.qos, p.qos) for q in pts if q is not p)
+    ]
+
+
+def covered_area(
+    curve: QoSCurve,
+    *,
+    accuracy: str = "mistake_rate",
+    td_max: float,
+    acc_max: float,
+    log_accuracy: bool = True,
+    acc_floor: float = 1e-7,
+) -> float:
+    """Measure the area of QoS requirements a detector can satisfy.
+
+    A requirement ``(T̄D, M̄R)`` is satisfiable by the detector iff some
+    swept point has ``TD ≤ T̄D`` and ``MR ≤ M̄R``; the satisfiable region is
+    the upper-right staircase above the curve's Pareto front.  This function
+    integrates that region over the rectangle ``[0, td_max] × [0, acc_max]``
+    (optionally with a log-scaled accuracy axis, matching the paper's
+    log-scale MR plots) and returns the *fraction* of the rectangle covered,
+    in ``[0, 1]``.
+
+    Parameters
+    ----------
+    curve:
+        The swept detector curve.
+    accuracy:
+        ``"mistake_rate"`` (lower is better) or ``"query_inaccuracy"``
+        (``1 − QAP``, lower is better).
+    td_max, acc_max:
+        Upper-right corner of the requirement rectangle considered.
+    log_accuracy:
+        Integrate the accuracy axis in log space (floored at ``acc_floor``).
+    """
+    if td_max <= 0 or acc_max <= 0:
+        raise ConfigurationError("td_max and acc_max must be positive")
+    pts = curve.finite().points
+    if not pts:
+        return 0.0
+    if accuracy == "mistake_rate":
+        acc = np.array([p.mistake_rate for p in pts])
+    elif accuracy == "query_inaccuracy":
+        acc = np.array([1.0 - p.query_accuracy for p in pts])
+    else:
+        raise ConfigurationError(f"unknown accuracy axis {accuracy!r}")
+    td = np.array([p.detection_time for p in pts])
+    keep = (td <= td_max) & (acc <= acc_max)
+    td, acc = td[keep], acc[keep]
+    if td.size == 0:
+        return 0.0
+
+    def scale(v: np.ndarray | float) -> np.ndarray | float:
+        if not log_accuracy:
+            return v
+        return np.log(np.maximum(v, acc_floor) / acc_floor)
+
+    # Pareto staircase on (td, acc): sort by td, keep running minima of acc.
+    order = np.argsort(td, kind="stable")
+    td, acc = td[order], acc[order]
+    best = np.minimum.accumulate(acc)
+    # Deduplicate identical TDs, keeping the best accuracy at each.
+    uniq_td, idx = np.unique(td, return_index=True)
+    # np.unique returns first occurrence; running minimum at the *last*
+    # occurrence of each td is the right envelope value.
+    last_idx = np.searchsorted(td, uniq_td, side="right") - 1
+    env_acc = best[last_idx]
+    # Integrate the satisfiable region: for T̄D in [uniq_td[i], next_td),
+    # achievable accuracies are [env_acc[i], acc_max].
+    edges = np.append(uniq_td, td_max)
+    widths = np.diff(edges)
+    heights = np.maximum(scale(acc_max) - scale(env_acc), 0.0)
+    area = float(np.sum(widths * heights))
+    total = td_max * float(scale(acc_max))
+    if total <= 0:
+        return 0.0
+    return min(1.0, area / total)

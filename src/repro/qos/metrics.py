@@ -1,0 +1,239 @@
+"""Computation of the QoS metrics from replayed or live suspicion episodes.
+
+Two consumers share these routines:
+
+* the vectorized replay engine (:mod:`repro.replay`), which turns whole
+  arrays of freshness points into suspicion intervals in one shot, and
+* streaming monitors (:mod:`repro.sim`, :mod:`repro.runtime`) and the SFD
+  feedback loop, which accumulate episodes one at a time through
+  :class:`MistakeAccumulator` and periodically snapshot a
+  :class:`~repro.qos.spec.QoSReport`.
+
+Replay semantics (DESIGN.md §5): after the r-th received heartbeat arrives
+at ``A_r`` the detector fixes the freshness point ``FP_r``; if the next
+heartbeat arrives at ``A_{r+1} > FP_r`` the detector wrongly suspects the
+monitored process during ``[max(FP_r, A_r), A_{r+1})``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.qos.spec import QoSReport
+
+__all__ = [
+    "suspicion_intervals_from_freshness",
+    "qos_from_intervals",
+    "MistakeAccumulator",
+]
+
+
+def suspicion_intervals_from_freshness(
+    arrivals: np.ndarray, freshness: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extract wrong-suspicion intervals from a replayed freshness series.
+
+    Parameters
+    ----------
+    arrivals:
+        Sorted arrival times ``A_0..A_{R-1}`` of the received heartbeats
+        that fall inside the accounted (post-warm-up) period, seconds.
+    freshness:
+        ``FP_r`` computed after each arrival, same length.  ``FP_r`` guards
+        the gap up to ``A_{r+1}``; the trailing element guards nothing (the
+        replay cannot know whether a suspicion after the last heartbeat is
+        wrong) and is ignored.
+
+    Returns
+    -------
+    (starts, ends):
+        Parallel arrays of suspicion interval bounds, possibly empty.
+    """
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    freshness = np.asarray(freshness, dtype=np.float64)
+    if arrivals.shape != freshness.shape:
+        raise ConfigurationError(
+            f"arrivals and freshness must align: {arrivals.shape} vs {freshness.shape}"
+        )
+    if arrivals.size < 2:
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty
+    # Suspicion can only begin once the freshness point has been computed,
+    # hence the clip at A_r for degenerate FP_r <= A_r.
+    starts = np.maximum(freshness[:-1], arrivals[:-1])
+    ends = arrivals[1:]
+    mask = ends > starts
+    return starts[mask], ends[mask]
+
+
+def qos_from_intervals(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    detection_times: np.ndarray,
+    t_begin: float,
+    t_end: float,
+) -> QoSReport:
+    """Aggregate suspicion intervals and TD samples into a QoS report.
+
+    Parameters
+    ----------
+    starts, ends:
+        Wrong-suspicion interval bounds from
+        :func:`suspicion_intervals_from_freshness`.
+    detection_times:
+        Per-heartbeat detection-time samples ``FP_r − σ_{s_r}`` (seconds).
+    t_begin, t_end:
+        Bounds of the accounted period; ``t_end − t_begin`` is the
+        denominator of ``MR`` and ``QAP``.
+    """
+    if t_end <= t_begin:
+        raise ConfigurationError(
+            f"accounted period must be positive: [{t_begin!r}, {t_end!r}]"
+        )
+    starts = np.asarray(starts, dtype=np.float64)
+    ends = np.asarray(ends, dtype=np.float64)
+    detection_times = np.asarray(detection_times, dtype=np.float64)
+    total = float(t_end - t_begin)
+    mistakes = int(starts.size)
+    mistake_time = float(np.sum(ends - starts)) if mistakes else 0.0
+    # Mistake time can marginally exceed the accounted span when the final
+    # suspicion interval extends to the last arrival; clamp to keep QAP in
+    # its domain.
+    mistake_time = min(mistake_time, total)
+    td = float(np.mean(detection_times)) if detection_times.size else math.nan
+    return QoSReport(
+        detection_time=td,
+        mistake_rate=mistakes / total,
+        query_accuracy=1.0 - mistake_time / total,
+        mistakes=mistakes,
+        mistake_time=mistake_time,
+        accounted_time=total,
+        samples=int(detection_times.size),
+    )
+
+
+@dataclass
+class MistakeAccumulator:
+    """Incremental QoS accounting for streaming monitors and feedback slots.
+
+    The accumulator tracks the same quantities as :func:`qos_from_intervals`
+    but accepts episodes one at a time, so a live monitor (or the SFD slot
+    controller) can snapshot the cumulative QoS at any instant — "the output
+    QoS of SFD is based on all the former time periods" (Section IV-A).
+
+    Usage::
+
+        acc = MistakeAccumulator(t_begin=now)
+        acc.add_detection_sample(fp - send_time)
+        acc.add_mistake(start, end)            # one wrong suspicion episode
+        report = acc.snapshot(now)
+    """
+
+    t_begin: float
+    mistakes: int = 0
+    mistake_time: float = 0.0
+    _td_sum: float = 0.0
+    _td_count: int = 0
+    _open_since: float | None = field(default=None, repr=False)
+
+    def add_detection_sample(self, td: float) -> None:
+        """Record one detection-time sample (seconds, must be finite)."""
+        if not math.isfinite(td):
+            raise ConfigurationError(f"detection sample must be finite, got {td!r}")
+        self._td_sum += td
+        self._td_count += 1
+
+    def add_mistake(self, start: float, end: float) -> None:
+        """Record one completed wrong-suspicion interval ``[start, end)``."""
+        if end <= start:
+            return
+        self.mistakes += 1
+        self.mistake_time += end - start
+
+    def open_mistake(self, start: float) -> None:
+        """Mark the beginning of a wrong suspicion whose end is unknown yet."""
+        if self._open_since is None:
+            self._open_since = start
+            self.mistakes += 1
+
+    def close_mistake(self, end: float) -> None:
+        """Close a previously opened wrong suspicion at time ``end``."""
+        if self._open_since is not None:
+            self.mistake_time += max(0.0, end - self._open_since)
+            self._open_since = None
+
+    @property
+    def detection_time(self) -> float:
+        """Running mean of the detection-time samples (NaN if none)."""
+        if self._td_count == 0:
+            return math.nan
+        return self._td_sum / self._td_count
+
+    @property
+    def td_sum(self) -> float:
+        """Cumulative sum of detection-time samples (for checkpointing)."""
+        return self._td_sum
+
+    @property
+    def td_count(self) -> int:
+        """Number of detection-time samples so far."""
+        return self._td_count
+
+    def checkpoint(self, now: float) -> tuple[float, int, float, float, int]:
+        """Freeze the cumulative tallies at ``now`` (for windowed feedback)."""
+        return (now, self.mistakes, self.mistake_time, self._td_sum, self._td_count)
+
+    def snapshot_since(
+        self, now: float, base: tuple[float, int, float, float, int] | None
+    ) -> QoSReport | None:
+        """QoS over ``[base.time, now]`` relative to an earlier checkpoint.
+
+        ``base=None`` measures from ``t_begin``.  Returns ``None`` when the
+        window is empty (non-positive span).  Used by the SFD slot
+        controller's trailing-horizon feedback (see
+        :class:`repro.core.sfd.SlotConfig`).
+        """
+        if base is None:
+            base = (self.t_begin, 0, 0.0, 0.0, 0)
+        t0, m0, mt0, ts0, tc0 = base
+        total = now - t0
+        if total <= 0:
+            return None
+        mistakes = self.mistakes - m0
+        mistake_time = min(max(self.mistake_time - mt0, 0.0), total)
+        tc = self._td_count - tc0
+        td = (self._td_sum - ts0) / tc if tc else math.nan
+        return QoSReport(
+            detection_time=td,
+            mistake_rate=mistakes / total,
+            query_accuracy=1.0 - mistake_time / total,
+            mistakes=mistakes,
+            mistake_time=mistake_time,
+            accounted_time=total,
+            samples=tc,
+        )
+
+    def snapshot(self, now: float) -> QoSReport:
+        """Cumulative QoS over ``[t_begin, now]`` including any open episode."""
+        if now <= self.t_begin:
+            raise ConfigurationError(
+                f"snapshot time {now!r} must exceed t_begin {self.t_begin!r}"
+            )
+        total = now - self.t_begin
+        open_time = 0.0
+        if self._open_since is not None:
+            open_time = max(0.0, now - self._open_since)
+        mistake_time = min(self.mistake_time + open_time, total)
+        return QoSReport(
+            detection_time=self.detection_time,
+            mistake_rate=self.mistakes / total,
+            query_accuracy=1.0 - mistake_time / total,
+            mistakes=self.mistakes,
+            mistake_time=mistake_time,
+            accounted_time=total,
+            samples=self._td_count,
+        )

@@ -1,0 +1,172 @@
+"""Trust/suspect timelines — inspectable detector output over time.
+
+The QoS metrics compress a run into three numbers; debugging a detector
+(or explaining a figure point) needs the *shape* of its output: when it
+suspected, for how long, around which arrivals.  A :class:`Timeline` is
+the explicit state function of Fig. 3 — the alternating trust/suspect
+intervals of one monitor about one process — buildable from a replay
+result or from live monitor transitions, with an ASCII rendering for
+terminals and logs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.qos.metrics import suspicion_intervals_from_freshness
+
+__all__ = ["Timeline"]
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """Alternating trust/suspect state over an observation period.
+
+    Attributes
+    ----------
+    t_begin, t_end:
+        Bounds of the observed period.
+    starts, ends:
+        Parallel arrays of suspicion interval bounds inside the period
+        (disjoint, increasing).
+    """
+
+    t_begin: float
+    t_end: float
+    starts: np.ndarray
+    ends: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.t_end <= self.t_begin:
+            raise ConfigurationError("timeline period must be positive")
+        s = np.asarray(self.starts, dtype=np.float64)
+        e = np.asarray(self.ends, dtype=np.float64)
+        if s.shape != e.shape:
+            raise ConfigurationError("starts and ends must align")
+        if s.size and (
+            (e <= s).any()
+            or (s[1:] < e[:-1]).any()
+            or s[0] < self.t_begin
+            or e[-1] > self.t_end
+        ):
+            raise ConfigurationError(
+                "suspicion intervals must be disjoint, increasing, and "
+                "inside the period"
+            )
+        object.__setattr__(self, "starts", s)
+        object.__setattr__(self, "ends", e)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_freshness(
+        cls, arrivals: np.ndarray, freshness: np.ndarray
+    ) -> "Timeline":
+        """Build from a replayed freshness-point series (DESIGN.md §5)."""
+        arrivals = np.asarray(arrivals, dtype=np.float64)
+        starts, ends = suspicion_intervals_from_freshness(arrivals, freshness)
+        return cls(
+            t_begin=float(arrivals[0]),
+            t_end=float(arrivals[-1]),
+            starts=starts,
+            ends=ends,
+        )
+
+    @classmethod
+    def from_transitions(
+        cls,
+        transitions: list[tuple[float, bool]],
+        *,
+        t_begin: float,
+        t_end: float,
+        initial_suspecting: bool = False,
+    ) -> "Timeline":
+        """Build from ``(time, suspecting)`` edges (live monitor output)."""
+        starts: list[float] = []
+        ends: list[float] = []
+        state = initial_suspecting
+        if state:
+            starts.append(t_begin)
+        for t, suspecting in sorted(transitions):
+            t = min(max(t, t_begin), t_end)
+            if suspecting and not state:
+                starts.append(t)
+            elif not suspecting and state:
+                ends.append(t)
+            state = suspecting
+        if state:
+            ends.append(t_end)
+        return cls(
+            t_begin=t_begin,
+            t_end=t_end,
+            starts=np.asarray(starts),
+            ends=np.asarray(ends),
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_begin
+
+    @property
+    def episodes(self) -> int:
+        """Number of suspicion intervals."""
+        return int(self.starts.size)
+
+    @property
+    def suspect_time(self) -> float:
+        """Total time spent suspecting, seconds."""
+        return float(np.sum(self.ends - self.starts)) if self.episodes else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the period spent trusting (the QAP of Fig. 3)."""
+        return 1.0 - min(self.suspect_time / self.duration, 1.0)
+
+    def suspecting_at(self, t: float) -> bool:
+        """State at instant ``t`` (outside the period: trusting)."""
+        if not (self.t_begin <= t <= self.t_end) or self.episodes == 0:
+            return False
+        i = bisect.bisect_right(self.starts.tolist(), t) - 1
+        return i >= 0 and t < self.ends[i]
+
+    def longest_episode(self) -> float:
+        """Duration of the longest suspicion interval (0 if none)."""
+        if self.episodes == 0:
+            return 0.0
+        return float(np.max(self.ends - self.starts))
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+
+    def render(self, width: int = 80) -> str:
+        """ASCII strip chart: ``.`` trusting, ``#`` suspecting.
+
+        Each character covers ``duration/width`` seconds and is ``#`` when
+        any suspicion overlaps its cell — so brief episodes stay visible.
+        """
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width!r}")
+        cells = ["."] * width
+        step = self.duration / width
+        for s, e in zip(self.starts, self.ends):
+            lo = int((s - self.t_begin) / step)
+            hi = int(np.ceil((e - self.t_begin) / step))
+            for i in range(max(lo, 0), min(hi, width)):
+                cells[i] = "#"
+        bar = "".join(cells)
+        return (
+            f"[{self.t_begin:10.2f}s] {bar} [{self.t_end:10.2f}s]  "
+            f"{self.episodes} episode(s), "
+            f"availability {self.availability * 100:.3f}%"
+        )

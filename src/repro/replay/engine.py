@@ -1,0 +1,268 @@
+"""Replay orchestration: specs, QoS accounting, results.
+
+A *spec* is a frozen description of one detector configuration (family +
+parameters).  :func:`replay` runs a spec against a
+:class:`~repro.traces.trace.MonitorView` and returns a
+:class:`ReplayResult` carrying the freshness-point series and the QoS
+report computed over the accounted (post-warm-up) period, with the exact
+semantics of DESIGN.md §5 — identical for every detector family, which is
+the paper's fairness requirement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.core.feedback import InfeasiblePolicy, TuningStatus
+from repro.core.sfd import SlotConfig, TuningRecord
+from repro.qos.metrics import qos_from_intervals, suspicion_intervals_from_freshness
+from repro.qos.spec import QoSReport, QoSRequirements
+from repro.replay.vectorized import (
+    bertier_freshness,
+    chen_freshness,
+    phi_freshness,
+    quantile_freshness,
+    sfd_freshness,
+)
+from repro.traces.trace import HeartbeatTrace, MonitorView
+
+__all__ = [
+    "ReplayResult",
+    "ChenSpec",
+    "BertierSpec",
+    "PhiSpec",
+    "FixedSpec",
+    "QuantileSpec",
+    "SFDSpec",
+    "replay",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ChenSpec:
+    """Chen FD configuration (sweep parameter: ``alpha``)."""
+
+    alpha: float
+    window: int = 1000
+    nominal_interval: float | None = None
+
+    detector = "chen"
+
+    @property
+    def parameter(self) -> float:
+        return self.alpha
+
+
+@dataclass(frozen=True, slots=True)
+class BertierSpec:
+    """Bertier FD configuration (no sweep parameter — one point)."""
+
+    beta: float = 1.0
+    phi: float = 4.0
+    gamma: float = 0.1
+    window: int = 1000
+    nominal_interval: float | None = None
+
+    detector = "bertier"
+
+    @property
+    def parameter(self) -> float:
+        return 0.0  # "it has no dynamic parameters" (Section V-A2)
+
+
+@dataclass(frozen=True, slots=True)
+class PhiSpec:
+    """φ FD configuration (sweep parameter: ``threshold``)."""
+
+    threshold: float
+    window: int = 1000
+
+    detector = "phi"
+
+    @property
+    def parameter(self) -> float:
+        return self.threshold
+
+
+@dataclass(frozen=True, slots=True)
+class QuantileSpec:
+    """Quantile-timeout FD ([34-35] family; sweep parameter: ``quantile``)."""
+
+    quantile: float
+    window: int = 1000
+
+    detector = "quantile"
+
+    @property
+    def parameter(self) -> float:
+        return self.quantile
+
+
+@dataclass(frozen=True, slots=True)
+class FixedSpec:
+    """Fixed-timeout baseline (sweep parameter: ``timeout``)."""
+
+    timeout: float
+
+    detector = "fixed"
+    window: int = 2
+
+    @property
+    def parameter(self) -> float:
+        return self.timeout
+
+
+@dataclass(frozen=True)
+class SFDSpec:
+    """SFD configuration (sweep parameter: the initial margin ``sm1``)."""
+
+    requirements: QoSRequirements
+    sm1: float | None = None
+    alpha: float = 0.1
+    beta: float = 0.5
+    window: int = 1000
+    nominal_interval: float | None = None
+    slot: SlotConfig = field(default_factory=SlotConfig)
+    policy: InfeasiblePolicy = InfeasiblePolicy.STOP
+    sm_bounds: tuple[float, float] = (0.0, math.inf)
+
+    detector = "sfd"
+
+    @property
+    def parameter(self) -> float:
+        return self.sm1 if self.sm1 is not None else self.alpha
+
+
+Spec = Union[ChenSpec, BertierSpec, PhiSpec, FixedSpec, QuantileSpec, SFDSpec]
+
+
+@dataclass
+class ReplayResult:
+    """One detector replayed over one trace.
+
+    Attributes
+    ----------
+    spec:
+        The configuration that was replayed.
+    qos:
+        QoS over the accounted period (DESIGN.md §5).
+    freshness:
+        ``FP[r]`` for every received heartbeat.  Entries before
+        ``warmup_index`` come from partially filled windows and are never
+        accounted (index 0 is NaN: one sample predicts nothing).
+    warmup_index:
+        First accounted received index ``r0``.
+    tuning:
+        SFD only: per-slot feedback records.
+    final_margin, status:
+        SFD only: tuned margin and feedback state at the end.
+    """
+
+    spec: Spec
+    qos: QoSReport
+    freshness: np.ndarray
+    warmup_index: int
+    tuning: list[TuningRecord] = field(default_factory=list)
+    final_margin: float | None = None
+    status: TuningStatus | None = None
+
+    @property
+    def detector(self) -> str:
+        return self.spec.detector
+
+    @property
+    def parameter(self) -> float:
+        return self.spec.parameter
+
+
+def _account(
+    view: MonitorView, fp: np.ndarray, r0: int
+) -> QoSReport:
+    """Uniform QoS accounting over the post-warm-up region."""
+    arrivals = view.arrivals[r0:]
+    fresh = fp[r0:]
+    starts, ends = suspicion_intervals_from_freshness(arrivals, fresh)
+    td = fresh - view.send_times[r0:]
+    return qos_from_intervals(
+        starts,
+        ends,
+        td,
+        t_begin=float(arrivals[0]),
+        t_end=float(arrivals[-1]),
+    )
+
+
+def replay(spec: Spec, source: MonitorView | HeartbeatTrace) -> ReplayResult:
+    """Run one detector spec over one trace (or pre-extracted view).
+
+    The warm-up convention matches the streaming detectors: accounting
+    starts at received index ``window − 1`` (window full), except the
+    fixed detector, which becomes ready after 2 heartbeats.
+    """
+    view = source.monitor_view() if isinstance(source, HeartbeatTrace) else source
+    if not isinstance(view, MonitorView):
+        raise ConfigurationError(f"cannot replay over {type(source).__name__}")
+    r0 = max(spec.window, 2) - 1
+    if len(view) <= r0 + 1:
+        raise ConfigurationError(
+            f"view has {len(view)} heartbeats; need more than {r0 + 1} "
+            f"for window {spec.window}"
+        )
+    tuning: list[TuningRecord] = []
+    final_margin: float | None = None
+    status: TuningStatus | None = None
+    if isinstance(spec, ChenSpec):
+        fp = chen_freshness(
+            view, spec.alpha, window=spec.window, nominal_interval=spec.nominal_interval
+        )
+    elif isinstance(spec, BertierSpec):
+        fp = bertier_freshness(
+            view,
+            beta=spec.beta,
+            phi=spec.phi,
+            gamma=spec.gamma,
+            window=spec.window,
+            nominal_interval=spec.nominal_interval,
+        )
+    elif isinstance(spec, PhiSpec):
+        fp = phi_freshness(view, spec.threshold, window=spec.window)
+    elif isinstance(spec, QuantileSpec):
+        fp = quantile_freshness(view, spec.quantile, window=spec.window)
+    elif isinstance(spec, FixedSpec):
+        fp = np.full(len(view), np.nan)
+        fp[1:] = view.arrivals[1:] + spec.timeout
+        fp[0] = view.arrivals[0] + spec.timeout
+    elif isinstance(spec, SFDSpec):
+        run = sfd_freshness(
+            view,
+            spec.requirements,
+            sm1=spec.sm1,
+            alpha=spec.alpha,
+            beta=spec.beta,
+            window=spec.window,
+            nominal_interval=spec.nominal_interval,
+            slot=spec.slot,
+            policy=spec.policy,
+            sm_bounds=spec.sm_bounds,
+        )
+        fp = run.freshness
+        tuning = run.trace
+        final_margin = run.final_margin
+        status = run.status
+    else:
+        raise ConfigurationError(f"unknown spec type {type(spec).__name__}")
+    qos = _account(view, fp, r0)
+    return ReplayResult(
+        spec=spec,
+        qos=qos,
+        freshness=fp,
+        warmup_index=r0,
+        tuning=tuning,
+        final_margin=final_margin,
+        status=status,
+    )

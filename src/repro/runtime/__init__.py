@@ -1,0 +1,30 @@
+"""Live asyncio/UDP runtime.
+
+"The inter-process communication model is based on message exchanges over
+the User Datagram Protocol (UDP)" (Section II-B).  This subpackage runs
+the detectors against *real* sockets: an asyncio heartbeat sender, a
+listener, and a service facade that keeps one detector per peer, answers
+status queries, and drives accrual threshold callbacks — the deployable
+counterpart of the simulator in :mod:`repro.sim`.
+"""
+
+from repro.runtime.udp import (
+    HEARTBEAT_SIZE,
+    pack_heartbeat,
+    unpack_heartbeat,
+    UDPHeartbeatSender,
+    UDPHeartbeatListener,
+)
+from repro.runtime.monitor import LiveMonitor
+from repro.runtime.service import FailureDetectionService, PeerStatus
+
+__all__ = [
+    "HEARTBEAT_SIZE",
+    "pack_heartbeat",
+    "unpack_heartbeat",
+    "UDPHeartbeatSender",
+    "UDPHeartbeatListener",
+    "LiveMonitor",
+    "FailureDetectionService",
+    "PeerStatus",
+]

@@ -1,0 +1,95 @@
+"""Live monitor: a membership table fed by the UDP listener.
+
+Binds the transport layer (:mod:`repro.runtime.udp`) to the cluster layer
+(:mod:`repro.cluster.membership`): each incoming datagram becomes a
+``heartbeat()`` on the table, and status queries read the per-node
+detectors at the local clock.  Thread-model: everything runs on the
+asyncio event loop; no locking needed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.detectors.base import FailureDetector
+from repro.cluster.membership import MembershipTable, NodeStatus
+from repro.runtime.udp import UDPHeartbeatListener
+
+__all__ = ["LiveMonitor"]
+
+
+class LiveMonitor:
+    """UDP-fed one-monitors-multiple failure detection monitor.
+
+    Parameters
+    ----------
+    detector_factory:
+        Per-node detector builder (``factory(node_id) -> FailureDetector``).
+    bind:
+        Local UDP address; port 0 picks a free port.
+    clock:
+        Arrival clock shared with status queries (monotonic by default).
+
+    Usage::
+
+        monitor = LiveMonitor(lambda nid: PhiFD(3.0, window_size=100))
+        await monitor.start()
+        print(monitor.address)      # where senders should aim
+        ...
+        print(monitor.statuses())
+        await monitor.stop()
+    """
+
+    def __init__(
+        self,
+        detector_factory: Callable[[str], FailureDetector],
+        *,
+        bind: tuple[str, int] = ("127.0.0.1", 0),
+        clock: Callable[[], float] = time.monotonic,
+        account_qos: bool = False,
+    ):
+        self.clock = clock
+        self.table = MembershipTable(
+            detector_factory, auto_register=True, account_qos=account_qos
+        )
+        self._listener = UDPHeartbeatListener(
+            self._on_heartbeat, bind=bind, clock=clock
+        )
+        self.received = 0
+
+    def _on_heartbeat(
+        self, node_id: str, seq: int, send_time: float, arrival: float
+    ) -> None:
+        # The sender's wall stamp is NOT comparable to our monotonic clock;
+        # detectors receive only the local arrival (Section II-B: no
+        # synchronized clocks).
+        self.table.heartbeat(node_id, seq, arrival, send_time=None)
+        self.received += 1
+
+    async def start(self) -> None:
+        await self._listener.start()
+
+    async def stop(self) -> None:
+        await self._listener.stop()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._listener.address
+
+    def status(self, node_id: str) -> NodeStatus:
+        """Current status of one node."""
+        if node_id not in self.table:
+            return NodeStatus.UNKNOWN
+        return self.table.node(node_id).status(self.clock())
+
+    def statuses(self) -> dict[str, NodeStatus]:
+        """Snapshot of every known node."""
+        return self.table.statuses(self.clock())
+
+    def summary(self) -> dict[NodeStatus, int]:
+        return self.table.summary(self.clock())
+
+    def qos(self, node_id: str):
+        """Measured live QoS of one node (requires ``account_qos=True``)."""
+        return self.table.node(node_id).qos(self.clock())

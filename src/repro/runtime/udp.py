@@ -1,0 +1,209 @@
+"""UDP heartbeat wire protocol and asyncio endpoints.
+
+Wire format (network byte order, 28 bytes)::
+
+    !16s Q d   =  node id (16 bytes, NUL-padded ASCII)
+                  sequence number (uint64)
+                  sender wall-clock timestamp (float64 seconds)
+
+The timestamp is carried "only for statistics" (Section V): receivers feed
+detectors their *local* arrival clock, never the remote stamp, because
+clocks are not synchronized (Section II-B).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import time
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "HEARTBEAT_SIZE",
+    "pack_heartbeat",
+    "unpack_heartbeat",
+    "UDPHeartbeatSender",
+    "UDPHeartbeatListener",
+]
+
+_STRUCT = struct.Struct("!16sQd")
+HEARTBEAT_SIZE = _STRUCT.size
+_MAX_ID = 16
+
+
+def pack_heartbeat(node_id: str, seq: int, send_time: float) -> bytes:
+    """Encode one heartbeat datagram."""
+    raw = node_id.encode("ascii")
+    if not raw or len(raw) > _MAX_ID:
+        raise ConfigurationError(
+            f"node_id must be 1..{_MAX_ID} ASCII bytes, got {node_id!r}"
+        )
+    if seq < 0:
+        raise ConfigurationError(f"seq must be >= 0, got {seq!r}")
+    return _STRUCT.pack(raw.ljust(_MAX_ID, b"\x00"), seq, send_time)
+
+
+def unpack_heartbeat(data: bytes) -> tuple[str, int, float]:
+    """Decode a heartbeat datagram; raises on malformed input."""
+    if len(data) != HEARTBEAT_SIZE:
+        raise ConfigurationError(
+            f"datagram must be {HEARTBEAT_SIZE} bytes, got {len(data)}"
+        )
+    raw_id, seq, send_time = _STRUCT.unpack(data)
+    return raw_id.rstrip(b"\x00").decode("ascii"), seq, send_time
+
+
+class _SenderProtocol(asyncio.DatagramProtocol):
+    def __init__(self) -> None:
+        self.transport: asyncio.DatagramTransport | None = None
+
+    def connection_made(self, transport) -> None:  # type: ignore[override]
+        self.transport = transport
+
+
+class UDPHeartbeatSender:
+    """Asyncio heartbeat sender (process ``p``).
+
+    Sends one stamped datagram every ``interval`` seconds to the target
+    address until :meth:`stop`.
+
+    Usage::
+
+        sender = UDPHeartbeatSender("node-a", ("127.0.0.1", 9999), interval=0.05)
+        await sender.start()
+        ...
+        await sender.stop()
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        target: tuple[str, int],
+        *,
+        interval: float = 0.1,
+        clock: Callable[[], float] = time.time,
+    ):
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be > 0, got {interval!r}")
+        pack_heartbeat(node_id, 0, 0.0)  # validate the id eagerly
+        self.node_id = node_id
+        self.target = target
+        self.interval = float(interval)
+        self.clock = clock
+        self.sent = 0
+        self._protocol: _SenderProtocol | None = None
+        self._task: asyncio.Task | None = None
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        _, protocol = await loop.create_datagram_endpoint(
+            _SenderProtocol, remote_addr=self.target
+        )
+        self._protocol = protocol
+        self._task = asyncio.create_task(self._run(), name=f"hb-send-{self.node_id}")
+
+    async def _run(self) -> None:
+        assert self._protocol is not None and self._protocol.transport is not None
+        transport = self._protocol.transport
+        try:
+            while True:
+                transport.sendto(
+                    pack_heartbeat(self.node_id, self.sent, self.clock())
+                )
+                self.sent += 1
+                await asyncio.sleep(self.interval)
+        except asyncio.CancelledError:
+            raise
+
+    async def stop(self) -> None:
+        """Crash-stop: cease sending and close the socket."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        if self._protocol is not None and self._protocol.transport is not None:
+            self._protocol.transport.close()
+            self._protocol = None
+
+
+class _ListenerProtocol(asyncio.DatagramProtocol):
+    def __init__(
+        self,
+        on_heartbeat: Callable[[str, int, float, float], None],
+        clock: Callable[[], float],
+    ):
+        self._on_heartbeat = on_heartbeat
+        self._clock = clock
+        self.transport: asyncio.DatagramTransport | None = None
+        self.malformed = 0
+
+    def connection_made(self, transport) -> None:  # type: ignore[override]
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:  # type: ignore[override]
+        arrival = self._clock()
+        try:
+            node_id, seq, send_time = unpack_heartbeat(data)
+        except ConfigurationError:
+            self.malformed += 1
+            return
+        self._on_heartbeat(node_id, seq, send_time, arrival)
+
+
+class UDPHeartbeatListener:
+    """Asyncio heartbeat receiver (process ``q``'s socket side).
+
+    Parameters
+    ----------
+    on_heartbeat:
+        Callback ``(node_id, seq, sender_stamp, local_arrival)`` invoked
+        per valid datagram, on the event loop thread.
+    bind:
+        Local ``(host, port)``; port 0 picks a free port (see
+        :attr:`address` after :meth:`start`).
+    clock:
+        Local arrival clock (monotonic by default: detector math needs
+        steadiness, not wall alignment).
+    """
+
+    def __init__(
+        self,
+        on_heartbeat: Callable[[str, int, float, float], None],
+        *,
+        bind: tuple[str, int] = ("127.0.0.1", 0),
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._on_heartbeat = on_heartbeat
+        self._bind = bind
+        self._clock = clock
+        self._protocol: _ListenerProtocol | None = None
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        _, protocol = await loop.create_datagram_endpoint(
+            lambda: _ListenerProtocol(self._on_heartbeat, self._clock),
+            local_addr=self._bind,
+        )
+        self._protocol = protocol
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound address (valid after :meth:`start`)."""
+        if self._protocol is None or self._protocol.transport is None:
+            raise ConfigurationError("listener is not started")
+        return self._protocol.transport.get_extra_info("sockname")[:2]
+
+    @property
+    def malformed(self) -> int:
+        """Datagrams rejected by the codec so far."""
+        return self._protocol.malformed if self._protocol else 0
+
+    async def stop(self) -> None:
+        if self._protocol is not None and self._protocol.transport is not None:
+            self._protocol.transport.close()
+            self._protocol = None

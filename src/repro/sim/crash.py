@@ -1,0 +1,52 @@
+"""Fault injection: the paper's crash-stop model.
+
+"A process may fail by crashing; here a crashed process does not recover"
+(Section II-B).  A :class:`CrashPlan` is the ground truth an experiment
+checks detector output against: it says when (if ever) the monitored
+process crashes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CrashPlan"]
+
+
+@dataclass(frozen=True, slots=True)
+class CrashPlan:
+    """Ground-truth crash schedule for one process.
+
+    Attributes
+    ----------
+    crash_time:
+        Global time of the crash; ``inf`` (default) means the process is
+        correct (never crashes).
+    """
+
+    crash_time: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.crash_time < 0:
+            raise ConfigurationError(
+                f"crash_time must be >= 0, got {self.crash_time!r}"
+            )
+
+    @property
+    def crashes(self) -> bool:
+        return math.isfinite(self.crash_time)
+
+    def alive_at(self, t: float) -> bool:
+        """True while the process has not yet crashed."""
+        return t < self.crash_time
+
+    @classmethod
+    def never(cls) -> "CrashPlan":
+        return cls(math.inf)
+
+    @classmethod
+    def at(cls, t: float) -> "CrashPlan":
+        return cls(t)

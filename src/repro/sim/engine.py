@@ -1,0 +1,117 @@
+"""Deterministic discrete-event simulation core.
+
+A minimal, dependency-free event loop: events are ``(time, tie, callback)``
+triples on a binary heap; ties break by scheduling order so runs are fully
+deterministic.  Global simulated time satisfies the paper's assumption of
+"some global time (unknown to processes)"; processes read time only through
+their :class:`~repro.net.drift.ClockModel`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["Simulator"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    tie: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """Event queue with deterministic ordering.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("at t=1"))
+        sim.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._tie = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current global simulated time, seconds."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> _Event:
+        """Run ``fn`` after ``delay`` seconds of simulated time."""
+        return self.schedule_at(self._now + delay, fn)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> _Event:
+        """Run ``fn`` at absolute simulated time ``time`` (>= now)."""
+        if not math.isfinite(time):
+            raise ConfigurationError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now {self._now}"
+            )
+        ev = _Event(time=float(time), tie=next(self._tie), fn=fn)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    @staticmethod
+    def cancel(event: _Event) -> None:
+        """Mark an event so it is skipped when popped."""
+        event.cancelled = True
+
+    def run(self, until: float = math.inf, max_events: int | None = None) -> None:
+        """Process events in time order until the horizon or queue end.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would exceed this time (the clock is
+            advanced to ``until`` if finite).
+        max_events:
+            Safety valve against runaway self-scheduling processes.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            budget = math.inf if max_events is None else max_events
+            while self._queue and budget > 0:
+                ev = self._queue[0]
+                if ev.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if ev.cancelled:
+                    continue
+                self._now = ev.time
+                ev.fn()
+                self._processed += 1
+                budget -= 1
+            if budget <= 0:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} (runaway process?)"
+                )
+            if math.isfinite(until) and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)

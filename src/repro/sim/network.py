@@ -1,0 +1,95 @@
+"""Channel adapter between the net models and the event engine.
+
+A :class:`SimLink` is one unidirectional unreliable channel living inside a
+simulation: messages handed to :meth:`send` either vanish (loss model) or
+trigger the receiver callback after a sampled delay.  FIFO is *not*
+enforced — like UDP, a later message can overtake an earlier one when the
+sampled delays cross; receivers that need ordering handle it themselves
+(monitors drop stale heartbeats, as
+:meth:`repro.traces.trace.HeartbeatTrace.monitor_view` does for replays).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.net.channel import UnreliableChannel
+from repro.net.delay import DelayModel
+from repro.net.loss import LossModel
+from repro.sim.engine import Simulator
+
+__all__ = ["SimLink"]
+
+
+class SimLink:
+    """One-way unreliable link inside a simulation.
+
+    Parameters
+    ----------
+    sim:
+        The hosting simulator.
+    delay, loss:
+        Channel models (see :mod:`repro.net`).
+    rng:
+        Generator for this link's randomness (deterministic per seed).
+    deliver:
+        Receiver callback ``deliver(payload)`` invoked at arrival time.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: DelayModel,
+        loss: LossModel | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+        deliver: Callable[[Any], None] | None = None,
+    ):
+        self.sim = sim
+        self.channel = UnreliableChannel(delay, loss, rng=rng)
+        self.deliver = deliver
+        self.sent = 0
+        self.lost = 0
+        self._outages: list[tuple[float, float]] = []
+
+    def outage(self, start: float, duration: float) -> None:
+        """Schedule a total blackout: every message sent in
+        ``[start, start + duration)`` is lost.
+
+        Models link failures and network partitions ("the networks have …
+        the high probability of message losses", Section I footnote) — a
+        heartbeat gap that looks, to the monitor, exactly like a crash
+        until the link heals.
+        """
+        if duration <= 0:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(f"duration must be > 0, got {duration!r}")
+        self._outages.append((float(start), float(start + duration)))
+
+    def _blacked_out(self, t: float) -> bool:
+        return any(lo <= t < hi for lo, hi in self._outages)
+
+    def send(self, payload: Any) -> None:
+        """Transmit ``payload`` now; schedules delivery unless lost."""
+        self.sent += 1
+        if self._blacked_out(self.sim.now):
+            self.lost += 1
+            return
+        arrival = self.channel.transmit_one(self.sim.now)
+        if arrival is None:
+            self.lost += 1
+            return
+        if self.deliver is None:
+            return
+        fn = self.deliver
+        self.sim.schedule_at(arrival, lambda p=payload: fn(p))
+
+    @property
+    def loss_rate(self) -> float:
+        """Observed loss fraction on this link so far."""
+        if self.sent == 0:
+            return 0.0
+        return self.lost / self.sent

@@ -1,0 +1,48 @@
+"""Heartbeat traces: container, statistics, synthesis, WAN profiles.
+
+The paper's whole evaluation is *trace replay*: "the logged arrival time is
+used to replay the execution for each FD scheme … the same network model,
+the same heartbeat traffic, and the same experiment parameters" (Section V).
+The original trace files (JAIST/EPFL lab website, PlanetLab 2007) are not
+redistributable/reachable, so this subpackage regenerates statistically
+equivalent traces from the *published* per-trace statistics (Tables I-II
+and Section V-A1) — see DESIGN.md §2 for the substitution argument — and
+provides the statistics machinery to verify the calibration (regenerated
+Table II).
+"""
+
+from repro.traces.trace import HeartbeatTrace, MonitorView
+from repro.traces.stats import TraceStats, loss_bursts
+from repro.traces.synth import synthesize
+from repro.traces.wan import (
+    LAN_REFERENCE,
+    WANProfile,
+    WAN_JAIST,
+    WAN_1,
+    WAN_2,
+    WAN_3,
+    WAN_4,
+    WAN_5,
+    WAN_6,
+    ALL_PROFILES,
+    PLANETLAB_PROFILES,
+)
+
+__all__ = [
+    "HeartbeatTrace",
+    "MonitorView",
+    "TraceStats",
+    "loss_bursts",
+    "synthesize",
+    "WANProfile",
+    "LAN_REFERENCE",
+    "WAN_JAIST",
+    "WAN_1",
+    "WAN_2",
+    "WAN_3",
+    "WAN_4",
+    "WAN_5",
+    "WAN_6",
+    "ALL_PROFILES",
+    "PLANETLAB_PROFILES",
+]

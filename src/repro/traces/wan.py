@@ -1,0 +1,356 @@
+"""The seven published WAN experiment profiles (Tables I-II, Section V-A).
+
+Each :class:`WANProfile` bundles everything the paper reports about one
+trace — hosts (Table I), heartbeat counts, loss rate, send/receive period
+statistics, RTT (Table II), plus the burst structure documented for the
+JAIST↔EPFL run — and knows how to build the calibrated delay/loss models
+the synthetic generator (:mod:`repro.traces.synth`) feeds the channel.
+
+Calibration identities
+----------------------
+* One-way delay mean = RTT/2 (symmetric path assumption; only the jitter,
+  not the absolute delay, influences adaptive detectors).
+* One-way jitter σ_d from the period statistics: for i.i.d. delays the
+  receive-period variance is the send-period variance plus twice the delay
+  variance, so ``σ_d² = max((σ_recv² − σ_send²)/2, ε)``.
+* Loss bursts: WAN-JAIST reports 23,192 losses in 814 bursts (mean ≈ 28.5,
+  max 1,093); lossy PlanetLab cases publish only the rate, for which we
+  assume a moderate mean burst of 5 (sensitivity to this choice is covered
+  by the ablation bench).
+* The receive-period *mean* in lossy cases exceeds the send period simply
+  because losses leave gaps — this arises naturally in replay and needs no
+  drift term.  WAN-1's slight clock drift (12.830 vs 12.825 ms with 0%
+  loss) is modeled explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.net.delay import CorrelatedLogNormalDelay, DelayModel, SpikeDelay
+from repro.net.loss import GilbertElliottLoss, LossModel, NoLoss
+
+__all__ = [
+    "WANProfile",
+    "LAN_REFERENCE",
+    "WAN_JAIST",
+    "WAN_1",
+    "WAN_2",
+    "WAN_3",
+    "WAN_4",
+    "WAN_5",
+    "WAN_6",
+    "ALL_PROFILES",
+    "PLANETLAB_PROFILES",
+]
+
+#: Jitter floor (seconds) when the published period statistics would imply
+#: non-positive delay variance.
+_MIN_JITTER = 5e-4
+
+
+@dataclass(frozen=True)
+class WANProfile:
+    """Published statistics of one WAN heartbeat experiment.
+
+    Times are seconds.  ``send_mean``/``send_std`` describe the sending
+    period; ``recv_std`` the receive-period deviation (Table II);
+    ``rtt_mean``/``rtt_min`` the ping RTT summary.  ``spike_rate`` &c.
+    shape the rare congestion episodes that reproduce the documented
+    delay maxima and mistake bursts.
+    """
+
+    name: str
+    sender: str
+    sender_host: str
+    receiver: str
+    receiver_host: str
+    n_heartbeats: int
+    send_mean: float
+    send_std: float
+    recv_std: float
+    loss_rate: float
+    rtt_mean: float
+    rtt_min: float | None = None
+    #: The *target* heartbeat interval (Section V: 100 ms for the JAIST
+    #: run, 10 ms for PlanetLab).  Sending periods are modeled as this
+    #: floor plus a right-skewed OS-scheduling tail ("timing inaccuracies
+    #: due to irregular OS scheduling", Section II-B) — which is how a
+    #: 12.8 ms measured mean with a 13 ms σ coexists with a mostly-regular
+    #: sender.  ``None`` falls back to a gamma period model.
+    send_base: float | None = None
+    mean_burst: float = 5.0
+    drift: float = 0.0
+    spike_rate: float = 1e-4
+    spike_length: float = 8.0
+    spike_min: float = 0.05
+    spike_max: float = 0.5
+    #: Queue-state persistence time constant τ (seconds) controlling the
+    #: per-message delay correlation exp(−Δt/τ).
+    delay_corr_time: float = 0.3
+    description: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_heartbeats < 2:
+            raise ConfigurationError("profile needs >= 2 heartbeats")
+        if self.send_mean <= 0:
+            raise ConfigurationError("send_mean must be > 0")
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise ConfigurationError("loss_rate must lie in [0, 1)")
+
+    @property
+    def delay_mean(self) -> float:
+        """Calibrated one-way delay mean (RTT/2)."""
+        return self.rtt_mean / 2.0
+
+    @property
+    def delay_std(self) -> float:
+        """Calibrated one-way jitter from the period-variance identity."""
+        var = (self.recv_std**2 - self.send_std**2) / 2.0
+        return math.sqrt(max(var, _MIN_JITTER**2))
+
+    @property
+    def delay_floor(self) -> float:
+        """Propagation floor: half the minimum RTT, else 60% of the mean."""
+        if self.rtt_min is not None:
+            return self.rtt_min / 2.0
+        return 0.6 * self.delay_mean
+
+    def stall_components(self) -> tuple[tuple[float, float], ...] | None:
+        """Stall mixture of the schedule-with-catch-up sender model.
+
+        Returns ``None`` when the published period σ is explained by plain
+        cadence jitter (σ ≤ mean − target, e.g. the JAIST sender).
+        Otherwise the σ is attributed to OS descheduling stalls — frequent
+        short hiccups (~1.5 periods) plus rare long stalls (~20 periods,
+        probability set so the big component carries the published period
+        variance).  Stalled messages are sent late and *catch up in a
+        burst* without shifting the long-run schedule
+        (:func:`repro.traces.synth.send_times_for`): a sleep-loop sender
+        that permanently accumulated every stall would random-walk away
+        from any sequence-anchored arrival estimator, which contradicts
+        the paper's published mistake-rate curves (~1 mistake/s at the
+        aggressive end of Fig. 9, vs ~40/s for the walk).
+        """
+        if self.send_base is None or self.send_std <= 0:
+            return None
+        excess = self.send_mean - self.send_base
+        if self.send_std <= excess:
+            return None
+        m_big = 20.0 * self.send_mean
+        p_big = min(self.send_std**2 / (m_big * m_big), 0.2)
+        m_small = 1.5 * self.send_mean
+        p_small = 0.01
+        return ((p_small, m_small), (p_big, m_big))
+
+    @property
+    def delay_corr(self) -> float:
+        """Per-message delay correlation ``exp(−Δt/τ)`` (queue persistence)."""
+        return math.exp(-self.send_mean / self.delay_corr_time)
+
+    def delay_model(self) -> DelayModel:
+        """Floor + temporally correlated lognormal jitter, with rare
+        congestion spikes.  Correlation keeps UDP reordering realistic for
+        sub-jitter sending periods (see
+        :class:`repro.net.delay.CorrelatedLogNormalDelay`)."""
+        base = CorrelatedLogNormalDelay(
+            mean=self.delay_mean,
+            std=self.delay_std,
+            floor=self.delay_floor,
+            corr=self.delay_corr,
+        )
+        if self.spike_rate <= 0.0:
+            return base
+        return SpikeDelay(
+            base,
+            spike_rate=self.spike_rate,
+            mean_spike_length=self.spike_length,
+            spike_min=self.spike_min,
+            spike_max=self.spike_max,
+        )
+
+    def loss_model(self) -> LossModel:
+        if self.loss_rate == 0.0:
+            return NoLoss()
+        return GilbertElliottLoss.from_rate_and_burst(self.loss_rate, self.mean_burst)
+
+    def duration(self, n: int | None = None) -> float:
+        """Expected experiment duration for ``n`` heartbeats, seconds."""
+        n = self.n_heartbeats if n is None else n
+        return (n - 1) * self.send_mean
+
+
+#: One week, JAIST (Japan) → EPFL (Switzerland), Section V-A.  100 ms
+#: target period, measured 103.501 ms (σ 0.189 ms); 23,192 of 5,845,713
+#: heartbeats lost in 814 bursts (max 1,093); RTT 283.338 ms (σ 27.342,
+#: min 270.201, max 717.832).
+WAN_JAIST = WANProfile(
+    name="WAN-JAIST",
+    sender="Japan (JAIST)",
+    sender_host="jaist.ac.jp",
+    receiver="Switzerland (EPFL)",
+    receiver_host="epfl.ch",
+    n_heartbeats=5_845_713,
+    send_mean=0.103501,
+    send_std=0.000189,
+    send_base=0.100,
+    # Receive-period σ is not tabulated for this trace; the RTT σ of
+    # 27.342 ms bounds the jitter — use σ_d = RTT σ/√2 (symmetric halves).
+    recv_std=math.sqrt(0.000189**2 + 2 * (0.027342 / math.sqrt(2.0)) ** 2),
+    loss_rate=23_192 / 5_845_713,
+    rtt_mean=0.283338,
+    rtt_min=0.270201,
+    mean_burst=23_192 / 814,
+    spike_rate=5e-5,
+    spike_length=12.0,
+    spike_min=0.03,
+    spike_max=0.43,  # reaches the documented 717.832 ms RTT maximum
+    description="JAIST->EPFL intercontinental, one week (phi-FD trace files)",
+)
+
+WAN_1 = WANProfile(
+    name="WAN-1",
+    sender="USA",
+    sender_host="planet1.scs.stanford.edu",
+    receiver="Japan",
+    receiver_host="planetlab-03.naist.ac.jp",
+    n_heartbeats=6_737_054,
+    send_mean=0.012825,
+    send_base=0.010,
+    send_std=0.013069,
+    recv_std=0.014892,
+    loss_rate=0.0,
+    rtt_mean=0.193909,
+    # "thus showing a slight clock drift": the table's 12.830 vs 12.825 ms
+    # ratio taken literally would be 390 ppm — far beyond real clocks and
+    # dominated by the table's rounding.  We model a typical crystal-grade
+    # 20 ppm drift, which keeps the receive period marginally above the
+    # send period without distorting the cross-clock TD statistic.
+    drift=2e-5,
+    spike_rate=8e-5,
+    spike_length=10.0,
+    spike_min=0.02,
+    spike_max=0.4,
+    description="Stanford->NAIST, 24h, March 12 2007",
+)
+
+WAN_2 = WANProfile(
+    name="WAN-2",
+    sender="Germany",
+    sender_host="planetlab-2.fokus.fraunhofer.de",
+    receiver="USA",
+    receiver_host="planet1.scs.stanford.edu",
+    n_heartbeats=7_477_304,
+    send_mean=0.012176,
+    send_base=0.010,
+    send_std=0.001219,
+    recv_std=0.019547,
+    loss_rate=0.05,
+    rtt_mean=0.194959,
+    description="Fraunhofer->Stanford, 24h, March 8 2007",
+)
+
+WAN_3 = WANProfile(
+    name="WAN-3",
+    sender="Japan",
+    sender_host="planetlab-03.naist.ac.jp",
+    receiver="Germany",
+    receiver_host="planetlab-2.fokus.fraunhofer.de",
+    n_heartbeats=7_104_446,
+    send_mean=0.01221,
+    send_base=0.010,
+    send_std=0.001243,
+    recv_std=0.004768,
+    loss_rate=0.02,
+    rtt_mean=0.18944,
+    description="NAIST->Fraunhofer, 24h, March 6 2007",
+)
+
+WAN_4 = WANProfile(
+    name="WAN-4",
+    sender="China (Hong Kong)",
+    sender_host="planetlab2.ie.cuhk.edu.hk",
+    receiver="USA",
+    receiver_host="planet1.scs.stanford.edu",
+    n_heartbeats=7_028_178,
+    send_mean=0.012337,
+    send_base=0.010,
+    send_std=0.009953,
+    recv_std=0.022918,
+    loss_rate=0.0,
+    rtt_mean=0.172863,
+    spike_rate=8e-5,
+    spike_length=10.0,
+    description="CUHK->Stanford, 24h, March 10 2007",
+)
+
+WAN_5 = WANProfile(
+    name="WAN-5",
+    sender="China (Hong Kong)",
+    sender_host="planetlab2.ie.cuhk.edu.hk",
+    receiver="Germany",
+    receiver_host="planetlab-2.fokus.fraunhofer.de",
+    n_heartbeats=7_008_170,
+    send_mean=0.012367,
+    send_base=0.010,
+    send_std=0.015599,
+    recv_std=0.016557,
+    loss_rate=0.04,
+    rtt_mean=0.362423,
+    description="CUHK->Fraunhofer, 24h, March 11 2007",
+)
+
+WAN_6 = WANProfile(
+    name="WAN-6",
+    sender="China (Hong Kong)",
+    sender_host="plab1.cs.ust.hk",
+    receiver="Japan",
+    receiver_host="planetlab1.sfc.wide.ad.jp",
+    n_heartbeats=7_040_560,
+    send_mean=0.01233,
+    send_base=0.010,
+    send_std=0.010185,
+    recv_std=0.01756,
+    loss_rate=0.0,
+    rtt_mean=0.07852,
+    spike_rate=8e-5,
+    spike_length=10.0,
+    description="HKUST->Keio SFC, 24h",
+)
+
+#: A wired-LAN reference case — not one of the paper's experiments, but
+#: the environment Bertier FD was designed for ("primarily designed to be
+#: used over wired local area networks (LANs), where messages are seldom
+#: lost", Sections I/III).  Sub-millisecond symmetric delays, microsecond
+#: jitter, no losses, no congestion spikes.
+LAN_REFERENCE = WANProfile(
+    name="LAN-REF",
+    sender="lab host A",
+    sender_host="lan-a.local",
+    receiver="lab host B",
+    receiver_host="lan-b.local",
+    n_heartbeats=2_000_000,
+    send_mean=0.1,
+    send_std=0.0005,
+    send_base=0.0995,
+    recv_std=0.0006,
+    loss_rate=0.0,
+    rtt_mean=0.0008,
+    rtt_min=0.0006,
+    spike_rate=0.0,
+    delay_corr_time=0.05,
+    description="wired-LAN reference (Bertier FD's design point)",
+)
+
+PLANETLAB_PROFILES: tuple[WANProfile, ...] = (
+    WAN_1,
+    WAN_2,
+    WAN_3,
+    WAN_4,
+    WAN_5,
+    WAN_6,
+)
+ALL_PROFILES: tuple[WANProfile, ...] = (WAN_JAIST,) + PLANETLAB_PROFILES

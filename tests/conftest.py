@@ -1,0 +1,75 @@
+"""Shared fixtures and helpers for the test suite.
+
+The central helper is :func:`stream_freshness`, which replays a
+:class:`~repro.traces.trace.MonitorView` through a *streaming* detector and
+collects its freshness points — the semantic reference the vectorized
+engine is checked against throughout the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.synth import synthesize
+from repro.traces.trace import HeartbeatTrace, MonitorView
+from repro.traces.wan import WAN_1, WAN_JAIST
+
+
+def stream_freshness(detector, view: MonitorView) -> np.ndarray:
+    """Feed a view through a streaming detector; NaN before warm-up."""
+    out = np.full(len(view), np.nan)
+    for i, (s, a, st) in enumerate(
+        zip(view.seq, view.arrivals, view.send_times)
+    ):
+        detector.observe(int(s), float(a), float(st))
+        if detector.ready:
+            out[i] = detector.freshness_point()
+    return out
+
+
+def regular_view(
+    n: int = 200, interval: float = 0.1, delay: float = 0.02, start: float = 0.0
+) -> MonitorView:
+    """Perfectly regular heartbeats: send every ``interval``, constant delay."""
+    send = start + interval * np.arange(n)
+    return MonitorView(
+        seq=np.arange(n, dtype=np.int64),
+        arrivals=send + delay,
+        send_times=send,
+    )
+
+
+def jittered_trace(n: int = 4000, seed: int = 0) -> HeartbeatTrace:
+    """A small noisy trace (losses + jitter) for cross-checks."""
+    rng = np.random.default_rng(seed)
+    send = np.cumsum(rng.gamma(25.0, 0.004, size=n))
+    delays = 0.01 + rng.lognormal(-5.0, 0.6, size=n)
+    lost = rng.random(n) < 0.02
+    delays[lost] = np.nan
+    return HeartbeatTrace(send_times=send, delays=delays, name="jittered")
+
+
+@pytest.fixture(scope="session")
+def wan1_trace() -> HeartbeatTrace:
+    return synthesize(WAN_1, n=30_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def wan1_view(wan1_trace) -> MonitorView:
+    return wan1_trace.monitor_view()
+
+
+@pytest.fixture(scope="session")
+def jaist_trace() -> HeartbeatTrace:
+    return synthesize(WAN_JAIST, n=25_000, seed=13)
+
+
+@pytest.fixture(scope="session")
+def jaist_view(jaist_trace) -> MonitorView:
+    return jaist_trace.monitor_view()
+
+
+@pytest.fixture()
+def small_view() -> MonitorView:
+    return jittered_trace(n=3000, seed=5).monitor_view()

@@ -1,0 +1,107 @@
+"""Accrual interpretation layer: bindings, edges, qualitative bands."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.accrual import AccrualService, ActionBinding, SuspicionLevel
+from repro.detectors import PhiFD
+
+from conftest import regular_view
+
+
+def warmed_phi(threshold=3.0):
+    """A warmed φ detector over mildly jittered heartbeats.
+
+    Jitter keeps the windowed σ finite so φ ramps smoothly instead of
+    stepping (a perfectly regular feed hits the σ floor and makes φ a
+    near-step function).
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(123)
+    fd = PhiFD(threshold, window_size=10)
+    view = regular_view(n=30)
+    arrivals = view.arrivals + rng.normal(0.0, 0.01, size=len(view))
+    arrivals = np.sort(arrivals)
+    for s, a, st in zip(view.seq, arrivals, view.send_times):
+        fd.observe(int(s), float(a), float(st))
+    return fd, float(arrivals[-1])
+
+
+class TestSuspicionLevel:
+    def test_bands(self):
+        assert SuspicionLevel.from_level(0.0, 4.0) is SuspicionLevel.ACTIVE
+        assert SuspicionLevel.from_level(1.9, 4.0) is SuspicionLevel.ACTIVE
+        assert SuspicionLevel.from_level(2.0, 4.0) is SuspicionLevel.SLOW
+        assert SuspicionLevel.from_level(4.0, 4.0) is SuspicionLevel.SUSPECT
+        assert SuspicionLevel.from_level(7.9, 4.0) is SuspicionLevel.SUSPECT
+        assert SuspicionLevel.from_level(8.0, 4.0) is SuspicionLevel.DEAD
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            SuspicionLevel.from_level(1.0, 0.0)
+
+
+class TestActionBinding:
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            ActionBinding("x", threshold=0.0)
+
+
+class TestAccrualService:
+    def test_duplicate_binding_rejected(self):
+        fd, _ = warmed_phi()
+        svc = AccrualService(fd)
+        svc.bind(ActionBinding("app", threshold=2.0))
+        with pytest.raises(ConfigurationError):
+            svc.bind(ActionBinding("app", threshold=3.0))
+
+    def test_multiple_apps_different_thresholds(self):
+        """Section I: different reactions at different confidence levels —
+        a low-threshold app reacts while a high-threshold app still trusts."""
+        fd, last = warmed_phi()
+        svc = AccrualService(fd)
+        svc.bind(ActionBinding("cautious", threshold=0.5))
+        svc.bind(ActionBinding("drastic", threshold=8.0))
+        verdicts = svc.poll(last + 0.16)  # ~1.6 intervals overdue
+        assert verdicts["cautious"] is True
+        assert verdicts["drastic"] is False
+
+    def test_edge_callbacks_fire_once(self):
+        fd, last = warmed_phi()
+        events = []
+        svc = AccrualService(fd)
+        svc.bind(
+            ActionBinding(
+                "app",
+                threshold=1.0,
+                on_suspect=lambda n, lvl: events.append(("sus", n)),
+                on_trust=lambda n, lvl: events.append(("trust", n)),
+            )
+        )
+        svc.poll(last + 0.01)  # trusting
+        svc.poll(last + 0.5)  # rising edge
+        svc.poll(last + 0.6)  # still suspecting: no second event
+        fd.observe(fd._prev_seq + 1, last + 0.7)  # heartbeat -> trust again
+        svc.poll(last + 0.71)
+        assert events == [("sus", "app"), ("trust", "app")]
+
+    def test_classify_band(self):
+        fd, last = warmed_phi()
+        svc = AccrualService(fd)
+        svc.bind(ActionBinding("app", threshold=4.0))
+        assert svc.classify(last + 0.05, binding="app") is SuspicionLevel.ACTIVE
+
+    def test_classify_unknown_binding(self):
+        fd, last = warmed_phi()
+        svc = AccrualService(fd)
+        with pytest.raises(ConfigurationError):
+            svc.classify(last, binding="ghost")
+
+    def test_unbind_is_idempotent(self):
+        fd, _ = warmed_phi()
+        svc = AccrualService(fd)
+        svc.bind(ActionBinding("app", threshold=1.0))
+        svc.unbind("app")
+        svc.unbind("app")
+        assert svc.bindings == ()

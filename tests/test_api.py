@@ -1,0 +1,100 @@
+"""Public-API consistency: exports resolve, are documented, and round-trip."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.qos",
+    "repro.detectors",
+    "repro.core",
+    "repro.replay",
+    "repro.net",
+    "repro.traces",
+    "repro.sim",
+    "repro.runtime",
+    "repro.cluster",
+    "repro.consensus",
+    "repro.analysis",
+]
+
+
+class TestExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+    @pytest.mark.parametrize("modname", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, modname):
+        mod = importlib.import_module(modname)
+        assert mod.__doc__, f"{modname} lacks a module docstring"
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{modname}.__all__ lists missing {name!r}"
+
+    def test_every_module_has_docstring(self):
+        for info in pkgutil.walk_packages(repro.__path__, "repro."):
+            mod = importlib.import_module(info.name)
+            assert mod.__doc__, f"{info.name} lacks a module docstring"
+
+    def test_public_classes_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type) and not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+        assert not undocumented, f"undocumented public classes: {undocumented}"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_detector_names_unique(self):
+        from repro.replay.engine import (
+            BertierSpec,
+            ChenSpec,
+            FixedSpec,
+            PhiSpec,
+            QuantileSpec,
+            SFDSpec,
+        )
+
+        names = [
+            s.detector
+            for s in (ChenSpec, BertierSpec, PhiSpec, FixedSpec, QuantileSpec, SFDSpec)
+        ]
+        assert len(set(names)) == len(names)
+
+
+class TestErrorsHierarchy:
+    def test_all_derive_from_repro_error(self):
+        from repro.errors import (
+            ConfigurationError,
+            InfeasibleQoSError,
+            NotWarmedUpError,
+            ReproError,
+            SimulationError,
+            TraceFormatError,
+        )
+
+        for exc in (
+            ConfigurationError,
+            InfeasibleQoSError,
+            NotWarmedUpError,
+            SimulationError,
+            TraceFormatError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        from repro.errors import ConfigurationError, TraceFormatError
+
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_infeasible_carries_context(self):
+        from repro.errors import InfeasibleQoSError
+
+        e = InfeasibleQoSError("msg", measured="m", required="r")
+        assert e.measured == "m" and e.required == "r"

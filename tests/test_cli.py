@@ -1,0 +1,72 @@
+"""CLI smoke tests (`python -m repro ...`)."""
+
+import pytest
+
+from repro.cli import main
+from repro.traces import HeartbeatTrace
+
+
+def run_cli(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        out = run_cli(capsys, "table1")
+        assert "WAN-1" in out and "planet1.scs.stanford.edu" in out
+
+    def test_table2_small_scale(self, capsys):
+        out = run_cli(capsys, "table2", "--scale", "4000")
+        assert "WAN-JAIST" in out and "loss rate" in out
+
+    def test_figure(self, capsys):
+        out = run_cli(capsys, "figure", "--case", "WAN-6", "--scale", "700")
+        assert "detector: sfd" in out
+        assert "detector: chen" in out
+        assert "detector: phi" in out
+
+    def test_unknown_case_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "--case", "WAN-99"])
+
+    def test_convergence(self, capsys):
+        out = run_cli(
+            capsys, "convergence", "--scale", "700", "--sm1", "0.01"
+        )
+        assert "final SM" in out
+
+    def test_synth_writes_trace(self, capsys, tmp_path):
+        path = tmp_path / "t.npz"
+        out = run_cli(
+            capsys, "synth", "--case", "WAN-3", "-n", "3000", "-o", str(path)
+        )
+        assert "3000 heartbeats" in out
+        trace = HeartbeatTrace.load(path)
+        assert trace.total_sent == 3000
+        assert trace.name == "WAN-3"
+
+    def test_scan(self, capsys):
+        out = run_cli(capsys, "scan", "--nodes", "20", "--horizon", "20")
+        assert "accuracy vs ground truth" in out
+
+    def test_ablation_window(self, capsys):
+        out = run_cli(
+            capsys,
+            "ablation-window",
+            "--scale",
+            "500",
+            "--sizes",
+            "50",
+            "200",
+        )
+        assert "bertier" in out and "WS" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_consensus(self, capsys):
+        out = run_cli(capsys, "consensus", "-n", "3", "--crashes", "1")
+        assert "agreement  : True" in out
+        assert "terminated : True" in out

@@ -1,0 +1,262 @@
+"""Consensus on unreliable failure detectors (Section IV-B's ◊P_ac claim).
+
+Checks the three consensus properties — validity, agreement, termination —
+against ground truth, across detector choices (including SFD itself),
+crash scenarios, and lossy links.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.consensus import ConsensusCluster, ConsensusProcess
+from repro.consensus.protocol import ConsensusMessage, MessageKind
+from repro.core import SFD, SlotConfig
+from repro.detectors import ChenFD, PhiFD
+from repro.net import BernoulliLoss
+from repro.qos.spec import QoSRequirements
+from repro.sim import Simulator
+
+
+def outcome_ok(out):
+    assert out.terminated, f"correct processes did not all decide: {out.decisions}"
+    assert out.agreement, f"split decision: {out.decisions}"
+    assert out.validity
+
+
+class TestHappyPath:
+    def test_all_correct_decide_fast(self):
+        out = ConsensusCluster(list("abcde"), seed=1).run(30.0)
+        outcome_ok(out)
+        assert out.latency < 1.0
+        assert all(r == 1 for r in out.rounds.values())  # one round suffices
+
+    def test_two_processes(self):
+        out = ConsensusCluster(["x", "y"], seed=2).run(30.0)
+        outcome_ok(out)
+
+    def test_decision_is_round0_coordinator_value(self):
+        # With no crash, round 0's coordinator (pid 0) locks an estimate
+        # from the first majority; validity pins it to a proposed value.
+        out = ConsensusCluster(["v0", "v1", "v2"], seed=3).run(30.0)
+        outcome_ok(out)
+        assert out.decision in {"v0", "v1", "v2"}
+
+    def test_deterministic(self):
+        a = ConsensusCluster(list("abc"), seed=7).run(30.0)
+        b = ConsensusCluster(list("abc"), seed=7).run(30.0)
+        assert a.decisions == b.decisions
+        assert a.decided_at == b.decided_at
+
+
+class TestCoordinatorCrash:
+    def test_crash_at_birth_uses_startup_timeout(self):
+        out = ConsensusCluster(
+            list("abcde"), crash_times={0: 0.01}, seed=4
+        ).run(60.0)
+        outcome_ok(out)
+        # Everyone abandoned round 0.
+        assert all(out.rounds[p] >= 2 for p in out.correct)
+
+    def test_crash_after_warmup_uses_fd_suspicion(self):
+        """Heartbeats warm from t=0; the coordinator dies at t=2; the
+        protocol starts at t=3 — round change must come from the failure
+        detector, not the bootstrap timeout."""
+        out = ConsensusCluster(
+            list("abcde"),
+            crash_times={0: 2.0},
+            detector_factory=lambda p: PhiFD(4.0, window_size=10),
+            start_time=3.0,
+            seed=5,
+        ).run(30.0)
+        outcome_ok(out)
+        assert all(out.rounds[p] >= 2 for p in out.correct)
+        assert out.latency < 6.0
+
+    def test_two_crashes_out_of_five(self):
+        out = ConsensusCluster(
+            list("abcde"),
+            crash_times={0: 0.01, 1: 0.01},  # first two coordinators dead
+            seed=6,
+        ).run(60.0)
+        outcome_ok(out)
+        assert all(out.rounds[p] >= 3 for p in out.correct)
+
+    def test_majority_crash_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConsensusCluster(
+                list("abcde"), crash_times={0: 1.0, 1: 1.0, 2: 1.0}
+            )
+
+
+class TestDetectorChoices:
+    def test_sfd_drives_consensus(self):
+        """The paper's literal claim: SFD (◊P_ac) suffices for consensus."""
+        req = QoSRequirements(
+            max_detection_time=1.0, max_mistake_rate=1.0, min_query_accuracy=0.9
+        )
+        out = ConsensusCluster(
+            list("xyz"),
+            crash_times={0: 2.0},
+            detector_factory=lambda p: SFD(
+                req, sm1=0.05, window_size=10, slot=SlotConfig(20)
+            ),
+            start_time=3.0,
+            seed=8,
+        ).run(30.0)
+        outcome_ok(out)
+
+    def test_chen_drives_consensus(self):
+        out = ConsensusCluster(
+            list("xyz"),
+            crash_times={0: 2.0},
+            detector_factory=lambda p: ChenFD(0.1, window_size=10),
+            start_time=3.0,
+            seed=9,
+        ).run(30.0)
+        outcome_ok(out)
+
+
+class TestLossyLinks:
+    def test_retransmission_masks_losses(self):
+        out = ConsensusCluster(
+            list("abcde"),
+            loss=BernoulliLoss(0.2),
+            seed=10,
+        ).run(60.0)
+        outcome_ok(out)
+
+    def test_lossy_links_with_crash(self):
+        out = ConsensusCluster(
+            list("abcde"),
+            crash_times={0: 0.01},
+            loss=BernoulliLoss(0.1),
+            seed=11,
+        ).run(90.0)
+        outcome_ok(out)
+
+
+class TestSafetyUnderWrongSuspicions:
+    def test_aggressive_detector_never_breaks_agreement(self):
+        """Wrong suspicions cost rounds, never safety: an absurdly
+        aggressive fixed-equivalent detector (Chen alpha ~ 0) still yields
+        a single valid decision."""
+        out = ConsensusCluster(
+            list("abcd") + ["e"],
+            detector_factory=lambda p: ChenFD(0.001, window_size=5),
+            seed=12,
+        ).run(60.0)
+        outcome_ok(out)
+
+
+class TestProtocolUnits:
+    def test_process_validation(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            ConsensusProcess(
+                sim, 0, 1, "v", lambda d, m: None, lambda p: PhiFD(4.0)
+            )
+        with pytest.raises(ConfigurationError):
+            ConsensusProcess(
+                sim, 5, 3, "v", lambda d, m: None, lambda p: PhiFD(4.0)
+            )
+
+    def test_crashed_process_is_silent(self):
+        from repro.sim.crash import CrashPlan
+
+        sim = Simulator()
+        sent = []
+        proc = ConsensusProcess(
+            sim,
+            0,
+            3,
+            "v",
+            lambda d, m: sent.append((sim.now, d, m.kind)),
+            lambda p: PhiFD(4.0, window_size=5),
+            crash=CrashPlan.at(1.0),
+        )
+        sim.run(until=5.0)
+        assert all(t < 1.0 for t, _, _ in sent)
+        # Delivery after the crash is ignored.
+        proc.deliver(
+            ConsensusMessage(kind=MessageKind.DECIDE, sender=1, value="w")
+        )
+        assert proc.decided is None
+
+    def test_stale_proposal_ignored(self):
+        sim = Simulator()
+        proc = ConsensusProcess(
+            sim, 1, 3, "v", lambda d, m: None, lambda p: PhiFD(4.0, window_size=5)
+        )
+        proc.round = 5
+        proc.deliver(
+            ConsensusMessage(
+                kind=MessageKind.PROPOSE, sender=0, round=2, value="old"
+            )
+        )
+        assert proc.estimate == "v"  # round-2 proposal did not regress us
+
+    def test_future_proposal_fast_forwards(self):
+        sim = Simulator()
+        proc = ConsensusProcess(
+            sim, 1, 3, "v", lambda d, m: None, lambda p: PhiFD(4.0, window_size=5)
+        )
+        proc.deliver(
+            ConsensusMessage(
+                kind=MessageKind.PROPOSE, sender=0, round=3, value="new"
+            )
+        )
+        assert proc.round == 3
+        assert proc.estimate == "new"
+        assert proc.ts == 3
+
+
+# ---------------------------------------------------------------------- #
+# randomized safety (hypothesis)
+# ---------------------------------------------------------------------- #
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.net import NormalDelay  # noqa: E402
+
+
+@st.composite
+def consensus_scenarios(draw):
+    n = draw(st.integers(3, 5))
+    values = [draw(st.sampled_from(["a", "b", "c"])) for _ in range(n)]
+    max_faulty = (n - 1) // 2
+    n_crash = draw(st.integers(0, max_faulty))
+    crash_pids = draw(
+        st.lists(
+            st.integers(0, n - 1),
+            min_size=n_crash,
+            max_size=n_crash,
+            unique=True,
+        )
+    )
+    crash_times = {
+        p: draw(st.floats(0.0, 5.0)) for p in crash_pids
+    }
+    loss = draw(st.floats(0.0, 0.25))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return values, crash_times, loss, seed
+
+
+@given(consensus_scenarios())
+@settings(max_examples=15, deadline=None)
+def test_consensus_safety_under_random_faults(scenario):
+    """Agreement and validity hold for arbitrary minority crashes, losses,
+    and delays; termination holds within a generous horizon."""
+    values, crash_times, loss, seed = scenario
+    cluster = ConsensusCluster(
+        values,
+        crash_times=crash_times,
+        loss=BernoulliLoss(loss) if loss > 0 else None,
+        delay=NormalDelay(0.01, 0.003, minimum=0.001),
+        seed=seed,
+    )
+    out = cluster.run(horizon=120.0)
+    assert out.agreement
+    assert out.validity
+    assert out.terminated

@@ -1,0 +1,145 @@
+"""Arrival-time estimators and gap filling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotWarmedUpError
+from repro.detectors.estimation import ChenEstimator, GapFiller, JacobsonEstimator
+from repro.detectors.window import HeartbeatWindow
+
+
+class TestChenEstimator:
+    def test_matches_literal_eq2(self):
+        """O(1) form == the paper's Eq. (2) computed literally."""
+        rng = np.random.default_rng(2)
+        w = HeartbeatWindow(8)
+        est = ChenEstimator(w, nominal_interval=0.1)
+        arrivals = []
+        for i in range(20):
+            a = 0.1 * i + rng.normal(0.02, 0.003)
+            w.push(i, a)
+            arrivals.append(a)
+        # Literal Eq. 2 over the last 8 samples with Delta = 0.1:
+        k = 19
+        n = 8
+        window = [(i, arrivals[i]) for i in range(k - n + 1, k + 1)]
+        ea_lit = sum(a - 0.1 * i for i, a in window) / n + (k + 1) * 0.1
+        assert est.expected_arrival() == pytest.approx(ea_lit, rel=1e-12)
+
+    def test_perfect_periodic_prediction(self):
+        w = HeartbeatWindow(5)
+        est = ChenEstimator(w)
+        for i in range(10):
+            w.push(i, 0.1 * i + 0.5)
+        assert est.expected_arrival() == pytest.approx(0.1 * 10 + 0.5)
+
+    def test_gap_aware_prediction(self):
+        # Losses must not bias EA: sequence numbers carry the schedule.
+        w = HeartbeatWindow(6)
+        est = ChenEstimator(w)
+        for s in (0, 1, 2, 5, 6, 8):
+            w.push(s, 0.1 * s + 0.02)
+        assert est.expected_arrival() == pytest.approx(0.1 * 9 + 0.02)
+
+    def test_needs_two_samples(self):
+        w = HeartbeatWindow(4)
+        est = ChenEstimator(w)
+        w.push(0, 0.0)
+        with pytest.raises(NotWarmedUpError):
+            est.expected_arrival()
+
+    def test_nominal_interval_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChenEstimator(HeartbeatWindow(4), nominal_interval=0.0)
+
+    def test_interval_property(self):
+        w = HeartbeatWindow(4)
+        est = ChenEstimator(w, nominal_interval=0.25)
+        assert est.interval() == 0.25
+
+
+class TestJacobsonEstimator:
+    def test_recurrence_matches_eqs_4_to_7(self):
+        g = 0.1
+        est = JacobsonEstimator(beta=1.0, phi=4.0, gamma=g)
+        delay = var = 0.0
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            e = float(rng.normal(0.01, 0.005))
+            est.update(e)
+            err = e - delay
+            delay += g * err
+            var += g * (abs(err) - var)
+        assert est.delay == pytest.approx(delay)
+        assert est.var == pytest.approx(var)
+        assert est.margin() == pytest.approx(1.0 * delay + 4.0 * var)
+
+    def test_constant_error_converges_to_it(self):
+        est = JacobsonEstimator(gamma=0.5)
+        for _ in range(200):
+            est.update(0.02)
+        assert est.delay == pytest.approx(0.02, rel=1e-6)
+        assert est.var == pytest.approx(0.0, abs=1e-6)
+
+    def test_margin_nonnegative_for_nonneg_errors(self):
+        est = JacobsonEstimator()
+        for e in (0.01, 0.02, 0.005):
+            assert est.update(e) >= 0.0
+
+    def test_gamma_validation(self):
+        with pytest.raises(ConfigurationError):
+            JacobsonEstimator(gamma=0.0)
+        with pytest.raises(ConfigurationError):
+            JacobsonEstimator(gamma=1.5)
+
+    def test_rejects_nonfinite_error(self):
+        with pytest.raises(ConfigurationError):
+            JacobsonEstimator().update(float("inf"))
+
+    def test_negative_gains_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JacobsonEstimator(beta=-1.0)
+
+
+class TestGapFiller:
+    def test_series_mode_step(self):
+        # First gap: n_ag becomes `missing`; synthetic arrivals step by
+        # interval * (1 + n_ag), capped at the revealing arrival.
+        gf = GapFiller("series")
+        out = gf.fill(prev_arrival=1.0, next_arrival=2.0, missing=2, interval=0.1)
+        assert len(out) == 2
+        assert gf.average_gap == 2.0
+        step = 0.1 * (1 + 2.0)
+        assert out[0] == pytest.approx(min(1.0 + step, 2.0))
+        assert all(a <= 2.0 for a in out)
+        assert all(b >= a for a, b in zip(out, out[1:]))
+
+    def test_even_mode_interpolates(self):
+        gf = GapFiller("even")
+        out = gf.fill(0.0, 0.4, missing=3, interval=0.1)
+        assert out == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_average_gap_tracks_bursts(self):
+        gf = GapFiller("even")
+        gf.fill(0.0, 1.0, missing=4, interval=0.1)
+        gf.fill(2.0, 3.0, missing=2, interval=0.1)
+        assert gf.average_gap == pytest.approx(3.0)
+
+    def test_mode_validation(self):
+        with pytest.raises(ConfigurationError):
+            GapFiller("nonsense")
+
+    def test_argument_validation(self):
+        gf = GapFiller()
+        with pytest.raises(ConfigurationError):
+            gf.fill(0.0, 1.0, missing=0, interval=0.1)
+        with pytest.raises(ConfigurationError):
+            gf.fill(1.0, 0.0, missing=1, interval=0.1)
+        with pytest.raises(ConfigurationError):
+            gf.fill(0.0, 1.0, missing=1, interval=0.0)
+
+    def test_reset(self):
+        gf = GapFiller()
+        gf.fill(0.0, 1.0, missing=5, interval=0.1)
+        gf.reset()
+        assert gf.average_gap == 0.0

@@ -1,0 +1,63 @@
+"""CSV export of figure series."""
+
+import csv
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.analysis import export_curve_csv, export_figure_csv
+from repro.qos.area import QoSCurve
+from repro.qos.spec import QoSReport
+
+
+def curve(name="chen", pts=((0.1, 0.2, 1.0, 0.99), (0.5, math.inf, 0.0, 1.0))):
+    c = QoSCurve(name)
+    for param, td, mr, qap in pts:
+        c.add(
+            param,
+            QoSReport(detection_time=td, mistake_rate=mr, query_accuracy=qap),
+        )
+    return c
+
+
+class TestExportCurve:
+    def test_roundtrip_values(self, tmp_path):
+        path = export_curve_csv(curve(), tmp_path / "c.csv")
+        rows = list(csv.DictReader(path.open()))
+        assert len(rows) == 2
+        assert float(rows[0]["parameter"]) == 0.1
+        assert float(rows[0]["detection_time_s"]) == 0.2
+        assert float(rows[0]["mistake_rate_per_s"]) == 1.0
+
+    def test_infinite_td_written_as_inf(self, tmp_path):
+        path = export_curve_csv(curve(), tmp_path / "c.csv")
+        rows = list(csv.DictReader(path.open()))
+        assert rows[1]["detection_time_s"] == "inf"
+        assert math.isinf(float(rows[1]["detection_time_s"]))
+
+    def test_empty_curve_writes_header_only(self, tmp_path):
+        path = export_curve_csv(QoSCurve("x"), tmp_path / "e.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1 and lines[0].startswith("parameter,")
+
+
+class TestExportFigure:
+    def test_writes_all_series_and_manifest(self, tmp_path):
+        curves = {"chen": curve("chen"), "phi": curve("phi")}
+        out = export_figure_csv(curves, tmp_path / "fig", prefix="wan1")
+        assert set(out) == {"chen", "phi"}
+        assert (tmp_path / "fig" / "wan1_chen.csv").exists()
+        manifest = list(
+            csv.DictReader((tmp_path / "fig" / "wan1_manifest.csv").open())
+        )
+        assert {m["detector"] for m in manifest} == {"chen", "phi"}
+        assert all(int(m["points"]) == 2 for m in manifest)
+
+    def test_creates_directory(self, tmp_path):
+        export_figure_csv({"c": curve()}, tmp_path / "a" / "b")
+        assert (tmp_path / "a" / "b" / "figure_c.csv").exists()
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            export_figure_csv({}, tmp_path)

@@ -1,0 +1,155 @@
+"""Feedback controller, slot policy, and the shared driver."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, InfeasibleQoSError
+from repro.core.feedback import (
+    FeedbackController,
+    FeedbackDriver,
+    InfeasiblePolicy,
+    SlotConfig,
+    TuningStatus,
+)
+from repro.qos.spec import QoSReport, QoSRequirements, Satisfaction
+
+REQ = QoSRequirements(
+    max_detection_time=1.0, max_mistake_rate=0.1, min_query_accuracy=0.99
+)
+
+
+def rep(td=0.5, mr=0.05, qap=0.999):
+    return QoSReport(detection_time=td, mistake_rate=mr, query_accuracy=qap)
+
+
+class TestFeedbackController:
+    def test_step_magnitude_is_beta_alpha(self):
+        c = FeedbackController(REQ, alpha=0.2, beta=0.5)
+        assert c.step_magnitude == pytest.approx(0.1)
+
+    def test_grow_on_inaccuracy(self):
+        c = FeedbackController(REQ, alpha=0.2, beta=0.5)
+        assert c.decide(rep(mr=0.5)) == pytest.approx(+0.1)
+        assert c.status is TuningStatus.TUNING
+        assert c.adjustments == 1
+
+    def test_shrink_on_slow_detection(self):
+        c = FeedbackController(REQ, alpha=0.2, beta=0.5)
+        assert c.decide(rep(td=2.0)) == pytest.approx(-0.1)
+        assert c.last_decision is Satisfaction.SHRINK
+
+    def test_stable_holds(self):
+        c = FeedbackController(REQ)
+        assert c.decide(rep()) == 0.0
+        assert c.status is TuningStatus.STABLE
+
+    def test_infeasible_stop_freezes(self):
+        c = FeedbackController(REQ, policy=InfeasiblePolicy.STOP)
+        assert c.decide(rep(td=2.0, mr=0.5)) == 0.0
+        assert c.status is TuningStatus.INFEASIBLE
+        # Frozen: even a satisfiable report changes nothing afterwards.
+        assert c.decide(rep()) == 0.0
+        assert c.status is TuningStatus.INFEASIBLE
+
+    def test_infeasible_raise(self):
+        c = FeedbackController(REQ, policy=InfeasiblePolicy.RAISE)
+        with pytest.raises(InfeasibleQoSError) as ei:
+            c.decide(rep(td=2.0, mr=0.5))
+        assert ei.value.required is REQ
+
+    def test_infeasible_hold_grows(self):
+        c = FeedbackController(REQ, alpha=0.2, beta=0.5, policy=InfeasiblePolicy.HOLD)
+        assert c.decide(rep(td=2.0, mr=0.5)) == pytest.approx(+0.1)
+        assert c.status is TuningStatus.TUNING
+
+    def test_parameter_domains(self):
+        with pytest.raises(ConfigurationError):
+            FeedbackController(REQ, alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            FeedbackController(REQ, alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            FeedbackController(REQ, beta=1.0)
+
+    def test_reset(self):
+        c = FeedbackController(REQ)
+        c.decide(rep(mr=0.5))
+        c.reset()
+        assert c.status is TuningStatus.WARMUP
+        assert c.adjustments == 0
+
+
+class TestSlotConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlotConfig(0)
+        with pytest.raises(ConfigurationError):
+            SlotConfig(10, horizon=0)
+        with pytest.raises(ConfigurationError):
+            SlotConfig(10, min_slots=0)
+
+    def test_defaults(self):
+        s = SlotConfig()
+        assert s.heartbeats == 100
+        assert s.horizon is None
+        assert not s.reset_on_adjust
+        assert s.min_slots == 1
+
+
+class TestFeedbackDriver:
+    def mk(self, slot, alpha=0.2, beta=0.5, policy=InfeasiblePolicy.STOP):
+        return FeedbackDriver(
+            FeedbackController(REQ, alpha=alpha, beta=beta, policy=policy), slot
+        )
+
+    def test_cumulative_window_spans_from_begin(self):
+        d = self.mk(SlotConfig(10))
+        # 2 mistakes in [0, 10]: MR 0.2 > 0.1 -> grow.
+        delta, snap = d.end_slot(0.0, 10.0, 2, 0.5, 5.0, 10)
+        assert delta == pytest.approx(+0.1)
+        assert snap is not None and snap.accounted_time == pytest.approx(10.0)
+
+    def test_horizon_diffs_against_old_checkpoint(self):
+        d = self.mk(SlotConfig(10, horizon=1))
+        d.end_slot(0.0, 10.0, 5, 1.0, 5.0, 10)  # first slot, noisy
+        # Second slot adds nothing new: windowed MR = 0 -> stable.
+        delta, snap = d.end_slot(0.0, 20.0, 5, 1.0, 10.0, 20)
+        assert delta == 0.0
+        assert snap is not None
+        assert snap.mistakes == 0
+        assert snap.accounted_time == pytest.approx(10.0)
+
+    def test_min_slots_defers_judgement(self):
+        d = self.mk(SlotConfig(10, min_slots=3))
+        assert d.end_slot(0.0, 10.0, 9, 1.0, 5.0, 10) == (0.0, None)
+        assert d.end_slot(0.0, 20.0, 9, 1.0, 10.0, 20) == (0.0, None)
+        delta, snap = d.end_slot(0.0, 30.0, 9, 1.0, 15.0, 30)
+        assert snap is not None and delta != 0.0
+
+    def test_reset_on_adjust_measures_current_setting(self):
+        d = self.mk(SlotConfig(10, reset_on_adjust=True))
+        delta, _ = d.end_slot(0.0, 10.0, 5, 1.0, 5.0, 10)
+        assert delta > 0  # grew
+        # Next slot: cumulative tallies unchanged -> window since the
+        # change has zero mistakes -> stable, not still growing.
+        delta2, snap2 = d.end_slot(0.0, 20.0, 5, 1.0, 10.0, 20)
+        assert delta2 == 0.0
+        assert snap2 is not None and snap2.mistakes == 0
+
+    def test_degenerate_window_skipped(self):
+        d = self.mk(SlotConfig(10))
+        delta, snap = d.end_slot(5.0, 5.0, 0, 0.0, 0.0, 0)
+        assert (delta, snap) == (0.0, None)
+
+    def test_status_passthrough_and_reset(self):
+        d = self.mk(SlotConfig(10))
+        d.end_slot(0.0, 10.0, 5, 1.0, 5.0, 10)
+        assert d.status is TuningStatus.TUNING
+        d.reset()
+        assert d.status is TuningStatus.WARMUP
+
+    def test_nan_td_with_zero_samples(self):
+        d = self.mk(SlotConfig(10))
+        _, snap = d.end_slot(0.0, 10.0, 0, 0.0, 0.0, 0)
+        assert snap is not None
+        assert math.isnan(snap.detection_time)

@@ -1,0 +1,92 @@
+"""The benchmark figure-claims checker must actually reject violations.
+
+``benchmarks/_figures.check_figure_claims`` is what turns "the figure was
+regenerated" into "the figure *matches the paper*"; these tests feed it
+synthetic results that violate each claim and assert it fails loudly —
+otherwise a regression in the detectors could slip through green benches.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from _figures import check_figure_claims  # noqa: E402
+
+from repro.analysis.experiments import ExperimentSetup, FigureResult
+from repro.qos.area import QoSCurve
+from repro.qos.spec import QoSReport, QoSRequirements
+from repro.traces import WAN_JAIST
+
+
+def rep(td, mr, qap=0.99):
+    return QoSReport(detection_time=td, mistake_rate=mr, query_accuracy=qap)
+
+
+def curve(name, pts):
+    c = QoSCurve(name)
+    for i, (td, mr) in enumerate(pts):
+        c.add(float(i), rep(td, mr))
+    return c
+
+
+def make_result(chen, bertier, phi, sfd):
+    setup = ExperimentSetup(
+        profile=WAN_JAIST,
+        sfd_requirements=QoSRequirements(
+            max_detection_time=0.9, max_mistake_rate=0.35, min_query_accuracy=0.99
+        ),
+    )
+    return FigureResult(
+        setup=setup,
+        trace=None,
+        view=None,
+        curves={
+            "chen": curve("chen", chen),
+            "bertier": curve("bertier", bertier),
+            "phi": curve("phi", phi),
+            "sfd": curve("sfd", sfd),
+        },
+    )
+
+
+GOOD = dict(
+    chen=[(0.15, 2.0), (0.3, 0.5), (0.6, 0.05), (1.2, 0.001)],
+    bertier=[(0.2, 1.0)],
+    phi=[(0.16, 1.5), (0.25, 0.8), (0.4, 0.3)],
+    sfd=[(0.45, 0.2), (0.6, 0.1), (0.88, 0.02)],
+)
+
+
+class TestChecker:
+    def test_accepts_paper_shaped_result(self):
+        check_figure_claims(make_result(**GOOD))
+
+    def test_rejects_chen_without_conservative_decay(self):
+        bad = dict(GOOD, chen=[(0.15, 2.0), (0.3, 1.9), (0.6, 1.8), (1.2, 1.7)])
+        with pytest.raises(AssertionError):
+            check_figure_claims(make_result(**bad))
+
+    def test_rejects_phi_reaching_conservative_range(self):
+        bad = dict(GOOD, phi=[(0.16, 1.5), (0.5, 0.5), (1.1, 0.05)])
+        with pytest.raises(AssertionError):
+            check_figure_claims(make_result(**bad))
+
+    def test_rejects_multi_point_bertier(self):
+        bad = dict(GOOD, bertier=[(0.2, 1.0), (0.4, 0.5)])
+        with pytest.raises(AssertionError):
+            check_figure_claims(make_result(**bad))
+
+    def test_rejects_sfd_exceeding_requirement(self):
+        bad = dict(GOOD, sfd=[(0.45, 0.2), (1.4, 0.01)])  # way past 0.9 s
+        with pytest.raises(AssertionError):
+            check_figure_claims(make_result(**bad))
+
+    def test_rejects_sfd_in_too_aggressive_range(self):
+        # SFD point faster than Chen's most aggressive point: impossible
+        # for a self-tuned Chen margin, and outside the paper's band.
+        bad = dict(GOOD, sfd=[(0.05, 5.0), (0.6, 0.1)])
+        with pytest.raises(AssertionError):
+            check_figure_claims(make_result(**bad))

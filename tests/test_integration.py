@@ -1,0 +1,183 @@
+"""Cross-module integration tests.
+
+These exercise whole pipelines: synthesize → replay → curves; DES run vs
+replay proxy; SFD self-tuning across a network regime change; the general
+method on a φ detector.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import SFD, SelfTuningMonitor, SlotConfig, TuningStatus
+from repro.detectors import ChenFD, PhiFD
+from repro.net import NormalDelay
+from repro.qos.spec import QoSRequirements
+from repro.replay import ChenSpec, SFDSpec, replay
+from repro.sim import CrashPlan, HeartbeatSender, MonitorProcess, SimLink, Simulator
+from repro.traces import WAN_3, WAN_JAIST, synthesize
+
+
+class TestSynthesizeReplayPipeline:
+    def test_lossy_profile_shapes_phi_vs_chen(self):
+        """On a lossy trace every detector pays for loss bursts (bounded
+        QAP), and conservative Chen still beats aggressive Chen."""
+        trace = synthesize(WAN_3, n=20_000, seed=8)
+        view = trace.monitor_view()
+        aggressive = replay(ChenSpec(alpha=0.01, window=500), view).qos
+        conservative = replay(ChenSpec(alpha=0.6, window=500), view).qos
+        assert conservative.mistake_rate < aggressive.mistake_rate
+        assert conservative.detection_time > aggressive.detection_time
+        # WAN-3's loss bursts (~5 messages ≈ 60 ms gaps) defeat a 10 ms
+        # margin but not a 600 ms one.
+        assert aggressive.query_accuracy < 1.0
+        assert conservative.query_accuracy > aggressive.query_accuracy
+
+    def test_sfd_lands_inside_requirements_on_wan_trace(self):
+        req = QoSRequirements(
+            max_detection_time=0.9, max_mistake_rate=0.35, min_query_accuracy=0.99
+        )
+        trace = synthesize(WAN_JAIST, n=25_000, seed=8)
+        res = replay(
+            SFDSpec(
+                requirements=req,
+                sm1=0.01,
+                alpha=0.1,
+                beta=0.5,
+                window=500,
+                slot=SlotConfig(100, reset_on_adjust=True, min_slots=3),
+            ),
+            trace,
+        )
+        assert res.qos.detection_time <= req.max_detection_time * 1.1
+        assert res.status in (TuningStatus.STABLE, TuningStatus.TUNING)
+        assert res.tuning, "self-tuning must have produced decisions"
+
+
+class TestDESAgainstReplayProxy:
+    def test_detection_time_proxy_close_to_ground_truth(self):
+        """The replay TD proxy (FP − σ) approximates the DES-measured
+        crash→suspicion latency for the same detector and network."""
+        sim = Simulator()
+        rng = np.random.default_rng(3)
+        plan = CrashPlan.at(60.0)
+        mon = MonitorProcess(sim, ChenFD(0.1, window_size=100), ground_truth=plan)
+        link = SimLink(
+            sim,
+            NormalDelay(0.02, 0.002, minimum=0.01),
+            rng=rng,
+            deliver=mon.deliver,
+        )
+        HeartbeatSender(sim, link, interval=0.1, jitter_std=0.005, crash=plan, rng=rng)
+        sim.run(until=70.0)
+        rep = mon.finish()
+        # Proxy: TD ~ delay + interval + alpha ~ 0.22 s; ground truth is the
+        # same quantity measured across the actual crash.
+        assert rep.detection_time == pytest.approx(0.22, abs=0.15)
+        assert rep.qos.detection_time == pytest.approx(
+            rep.detection_time, abs=0.15
+        )
+
+
+class TestRegimeChange:
+    def test_sfd_retunes_after_network_degrades(self):
+        """Section IV-A: 'if systems have great changes … SFD will give
+        feedback information to improve output QoS gradually again'."""
+        rng = np.random.default_rng(5)
+        req = QoSRequirements(
+            max_detection_time=2.0, max_mistake_rate=0.05, min_query_accuracy=0.9
+        )
+        fd = SFD(
+            req,
+            sm1=0.02,
+            alpha=0.2,
+            beta=0.5,
+            window_size=30,
+            slot=SlotConfig(30, reset_on_adjust=True, min_slots=2),
+        )
+        t = 0.0
+        # Calm phase: tight jitter.
+        for i in range(600):
+            t += 0.1
+            fd.observe(i, t + rng.normal(0.02, 0.001))
+        sm_calm = fd.safety_margin
+        # Degraded phase: every 6th heartbeat pauses 0.5 s.
+        for i in range(600, 1600):
+            t += 0.1
+            late = 0.5 if i % 6 == 0 else 0.0
+            fd.observe(i, t + late + rng.normal(0.02, 0.001))
+        assert fd.safety_margin > sm_calm + 0.1
+
+    def test_general_method_tunes_phi_threshold(self):
+        """The general self-tuning method drives φ's threshold, not just a
+        margin — Section IV-A's generality claim."""
+        rng = np.random.default_rng(6)
+        req = QoSRequirements(
+            max_detection_time=5.0, max_mistake_rate=0.02, min_query_accuracy=0.9
+        )
+        mon = SelfTuningMonitor(
+            PhiFD(0.5, window_size=30),
+            "threshold",
+            req,
+            alpha=1.0,
+            beta=0.5,
+            slot=SlotConfig(30, reset_on_adjust=True, min_slots=2),
+            knob_bounds=(0.5, 16.0),
+        )
+        t = 0.0
+        for i in range(1500):
+            t += 0.1
+            late = 0.4 if i % 10 == 0 else 0.0
+            mon.observe(i, t + late + rng.normal(0.02, 0.002))
+        # The aggressive initial threshold must have been raised.
+        assert mon.knob_value > 0.5
+
+
+class TestScaleInvariance:
+    def test_curve_shape_stable_across_trace_length(self):
+        """Scaling the trace down must preserve the curve shape (the
+        DESIGN.md scaling argument)."""
+        from repro.analysis import chen_curve
+
+        alphas = [0.02, 0.1, 0.4]
+        small = synthesize(WAN_JAIST, n=12_000, seed=10).monitor_view()
+        large = synthesize(WAN_JAIST, n=36_000, seed=10).monitor_view()
+        c_small = chen_curve(small, alphas, window=300)
+        c_large = chen_curve(large, alphas, window=300)
+        td_s = c_small.detection_times()
+        td_l = c_large.detection_times()
+        np.testing.assert_allclose(td_s, td_l, rtol=0.15)
+        # Mistake-rate ordering (the qualitative shape) is identical.
+        assert (
+            np.argsort(c_small.mistake_rates()).tolist()
+            == np.argsort(c_large.mistake_rates()).tolist()
+        )
+
+
+class TestSeedRobustness:
+    """The figure claims must hold across seeds, not just the bench seed."""
+
+    @pytest.mark.parametrize("seed", [7, 99, 31337])
+    def test_figure_claims_across_seeds(self, seed):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+        from _figures import run_and_check  # noqa: E402
+
+        from repro.analysis.experiments import default_setup
+
+        setup = dataclasses.replace(
+            default_setup(WAN_JAIST, seed=seed),
+            n_heartbeats=25_000,
+            window=500,
+            chen_alphas=tuple(
+                float(a) for a in np.geomspace(0.01, 0.9, 10)
+            ),
+            phi_thresholds=(0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+            sfd_sm1=(0.01, 0.1, 0.9),
+            sfd_slot=SlotConfig(100, reset_on_adjust=True, min_slots=5),
+        )
+        run_and_check(setup)  # raises on any qualitative-claim violation

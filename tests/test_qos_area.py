@@ -1,0 +1,112 @@
+"""QoS-space curves, Pareto utilities, covered-area measure."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.qos.area import QoSCurve, covered_area, dominates, pareto_front
+from repro.qos.spec import QoSReport
+
+
+def rep(td, mr, qap=0.99):
+    return QoSReport(detection_time=td, mistake_rate=mr, query_accuracy=qap)
+
+
+def curve(points, name="x"):
+    c = QoSCurve(name)
+    for i, (td, mr) in enumerate(points):
+        c.add(float(i), rep(td, mr))
+    return c
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates(rep(0.1, 0.01, 0.999), rep(0.2, 0.02, 0.99))
+
+    def test_equal_does_not_dominate(self):
+        a = rep(0.1, 0.01)
+        assert not dominates(a, rep(0.1, 0.01))
+
+    def test_tradeoff_is_incomparable(self):
+        a, b = rep(0.1, 0.5), rep(0.5, 0.1)
+        assert not dominates(a, b) and not dominates(b, a)
+
+    def test_single_axis_improvement_dominates(self):
+        assert dominates(rep(0.1, 0.01), rep(0.1, 0.02))
+
+
+class TestParetoFront:
+    def test_front_of_monotone_curve_is_everything(self):
+        c = curve([(0.1, 1.0), (0.2, 0.5), (0.3, 0.1)])
+        assert len(pareto_front(c.points)) == 3
+
+    def test_dominated_point_removed(self):
+        c = curve([(0.1, 0.5), (0.2, 0.6)])  # second is worse on both
+        front = pareto_front(c.points)
+        assert len(front) == 1
+        assert front[0].detection_time == 0.1
+
+
+class TestQoSCurve:
+    def test_iteration_and_arrays(self):
+        c = curve([(0.1, 1.0), (0.2, 0.5)])
+        assert len(c) == 2
+        assert c.detection_times().tolist() == [0.1, 0.2]
+        assert c.mistake_rates().tolist() == [1.0, 0.5]
+        assert c.parameters().tolist() == [0.0, 1.0]
+        assert c.query_accuracies().shape == (2,)
+
+    def test_finite_drops_infinite_td(self):
+        c = curve([(0.1, 1.0), (math.inf, 0.0)])
+        assert len(c.finite()) == 1
+
+    def test_span(self):
+        c = curve([(0.3, 1.0), (0.1, 0.5), (0.9, 0.1)])
+        assert c.span() == (0.1, 0.9)
+
+    def test_span_of_empty_curve_is_nan(self):
+        lo, hi = QoSCurve("e").span()
+        assert math.isnan(lo) and math.isnan(hi)
+
+
+class TestCoveredArea:
+    def test_empty_curve_covers_nothing(self):
+        assert covered_area(QoSCurve("e"), td_max=1.0, acc_max=1.0) == 0.0
+
+    def test_better_curve_covers_more(self):
+        good = curve([(0.1, 0.01), (0.5, 0.001)])
+        bad = curve([(0.4, 0.5), (0.8, 0.1)])
+        a_good = covered_area(good, td_max=1.0, acc_max=1.0)
+        a_bad = covered_area(bad, td_max=1.0, acc_max=1.0)
+        assert a_good > a_bad > 0.0
+
+    def test_result_in_unit_interval(self):
+        c = curve([(0.01, 1e-6)])
+        a = covered_area(c, td_max=1.0, acc_max=1.0)
+        assert 0.0 < a <= 1.0
+
+    def test_point_outside_box_excluded(self):
+        c = curve([(2.0, 0.5)])
+        assert covered_area(c, td_max=1.0, acc_max=1.0) == 0.0
+
+    def test_query_inaccuracy_axis(self):
+        c = curve([(0.1, 0.5)])
+        a = covered_area(
+            c, accuracy="query_inaccuracy", td_max=1.0, acc_max=1.0
+        )
+        assert a > 0.0
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            covered_area(curve([(0.1, 0.1)]), accuracy="bogus", td_max=1, acc_max=1)
+
+    def test_invalid_box_rejected(self):
+        with pytest.raises(ConfigurationError):
+            covered_area(curve([(0.1, 0.1)]), td_max=0.0, acc_max=1.0)
+
+    def test_linear_accuracy_axis(self):
+        c = curve([(0.0, 0.0)])
+        # Ideal detector at the origin covers the whole box.
+        a = covered_area(c, td_max=1.0, acc_max=1.0, log_accuracy=False)
+        assert a == pytest.approx(1.0)

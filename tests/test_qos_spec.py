@@ -1,0 +1,117 @@
+"""QoS tuples, requirements, and the Algorithm-1 classification table."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.qos.spec import QoSReport, QoSRequirements, Satisfaction, classify
+
+
+def report(td=0.5, mr=0.1, qap=0.99, **kw) -> QoSReport:
+    return QoSReport(detection_time=td, mistake_rate=mr, query_accuracy=qap, **kw)
+
+
+class TestQoSReport:
+    def test_tuple_matches_eq1(self):
+        r = report(td=0.3, mr=0.02, qap=0.995)
+        assert r.as_tuple() == (0.3, 0.02, 0.995)
+
+    def test_rejects_qap_outside_unit_interval(self):
+        with pytest.raises(ConfigurationError):
+            report(qap=1.5)
+        with pytest.raises(ConfigurationError):
+            report(qap=-0.1)
+
+    def test_rejects_negative_mistake_rate(self):
+        with pytest.raises(ConfigurationError):
+            report(mr=-1.0)
+
+    def test_mistake_duration_is_time_over_count(self):
+        r = report(mistakes=4, mistake_time=2.0, accounted_time=100.0)
+        assert r.mistake_duration == pytest.approx(0.5)
+
+    def test_mistake_duration_nan_without_mistakes(self):
+        assert math.isnan(report(mistakes=0).mistake_duration)
+
+    def test_mistake_recurrence(self):
+        r = report(mistakes=5, accounted_time=100.0)
+        assert r.mistake_recurrence == pytest.approx(20.0)
+
+    def test_mistake_recurrence_infinite_without_mistakes(self):
+        assert report(mistakes=0).mistake_recurrence == math.inf
+
+    def test_nan_detection_time_allowed(self):
+        # A run with zero TD samples reports NaN, which must not crash.
+        r = report(td=math.nan)
+        assert math.isnan(r.detection_time)
+
+
+class TestQoSRequirements:
+    def test_defaults_are_vacuous(self):
+        req = QoSRequirements()
+        assert req.satisfied_by(report(td=1e9, mr=1e9, qap=0.0))
+
+    def test_detection_bound(self):
+        req = QoSRequirements(max_detection_time=0.5)
+        assert req.detection_ok(report(td=0.5))
+        assert not req.detection_ok(report(td=0.500001))
+
+    def test_accuracy_bounds(self):
+        req = QoSRequirements(max_mistake_rate=0.1, min_query_accuracy=0.99)
+        assert req.accuracy_ok(report(mr=0.1, qap=0.99))
+        assert not req.accuracy_ok(report(mr=0.11, qap=0.999))
+        assert not req.accuracy_ok(report(mr=0.01, qap=0.98))
+
+    def test_rejects_nonpositive_detection_bound(self):
+        with pytest.raises(ConfigurationError):
+            QoSRequirements(max_detection_time=0.0)
+
+    def test_rejects_negative_mistake_bound(self):
+        with pytest.raises(ConfigurationError):
+            QoSRequirements(max_mistake_rate=-1.0)
+
+    def test_rejects_bad_accuracy_bound(self):
+        with pytest.raises(ConfigurationError):
+            QoSRequirements(min_query_accuracy=1.5)
+
+
+class TestClassify:
+    """The physically consistent Algorithm-1 decision table (DESIGN.md §1)."""
+
+    REQ = QoSRequirements(
+        max_detection_time=1.0, max_mistake_rate=0.1, min_query_accuracy=0.99
+    )
+
+    def test_all_met_is_stable(self):
+        out = classify(report(td=0.5, mr=0.05, qap=0.999), self.REQ)
+        assert out is Satisfaction.STABLE
+        assert out.sign == 0
+
+    def test_too_slow_but_accurate_shrinks(self):
+        # Narrative (Section V-B2): TD above requirement -> Sat = -beta.
+        out = classify(report(td=2.0, mr=0.01, qap=0.999), self.REQ)
+        assert out is Satisfaction.SHRINK
+        assert out.sign == -1
+
+    def test_fast_but_inaccurate_grows(self):
+        # Narrative (Section V-A2): small SM1 -> TD < bound, MR > bound ->
+        # increase SM.
+        out = classify(report(td=0.2, mr=0.5, qap=0.95), self.REQ)
+        assert out is Satisfaction.GROW
+        assert out.sign == +1
+
+    def test_qap_violation_alone_grows(self):
+        out = classify(report(td=0.2, mr=0.05, qap=0.9), self.REQ)
+        assert out is Satisfaction.GROW
+
+    def test_slow_and_inaccurate_is_infeasible(self):
+        # Algorithm 1's "others" branch: "give a response".
+        out = classify(report(td=2.0, mr=0.5, qap=0.9), self.REQ)
+        assert out is Satisfaction.INFEASIBLE
+        with pytest.raises(ValueError):
+            _ = out.sign
+
+    def test_boundaries_inclusive(self):
+        out = classify(report(td=1.0, mr=0.1, qap=0.99), self.REQ)
+        assert out is Satisfaction.STABLE

@@ -1,0 +1,241 @@
+"""Live asyncio/UDP runtime: codec, endpoints, monitor, service."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.accrual import ActionBinding
+from repro.cluster.membership import NodeStatus
+from repro.detectors import PhiFD
+from repro.runtime import (
+    HEARTBEAT_SIZE,
+    FailureDetectionService,
+    LiveMonitor,
+    UDPHeartbeatListener,
+    UDPHeartbeatSender,
+    pack_heartbeat,
+    unpack_heartbeat,
+)
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        data = pack_heartbeat("node-a", 42, 123.456)
+        assert len(data) == HEARTBEAT_SIZE
+        assert unpack_heartbeat(data) == ("node-a", 42, 123.456)
+
+    def test_max_length_id(self):
+        nid = "x" * 16
+        assert unpack_heartbeat(pack_heartbeat(nid, 0, 0.0))[0] == nid
+
+    def test_id_validation(self):
+        with pytest.raises(ConfigurationError):
+            pack_heartbeat("", 0, 0.0)
+        with pytest.raises(ConfigurationError):
+            pack_heartbeat("x" * 17, 0, 0.0)
+
+    def test_seq_validation(self):
+        with pytest.raises(ConfigurationError):
+            pack_heartbeat("a", -1, 0.0)
+
+    def test_unpack_rejects_wrong_size(self):
+        with pytest.raises(ConfigurationError):
+            unpack_heartbeat(b"short")
+
+
+@pytest.fixture()
+def run():
+    """Run a coroutine to completion on a fresh event loop."""
+
+    def _run(coro):
+        return asyncio.run(coro)
+
+    return _run
+
+
+class TestEndpoints:
+    def test_sender_to_listener(self, run):
+        async def main():
+            got = []
+            listener = UDPHeartbeatListener(
+                lambda nid, seq, st, arr: got.append((nid, seq))
+            )
+            await listener.start()
+            sender = UDPHeartbeatSender("peer", listener.address, interval=0.01)
+            await sender.start()
+            await asyncio.sleep(0.15)
+            await sender.stop()
+            await listener.stop()
+            return got, sender.sent
+
+        got, sent = run(main())
+        assert sent >= 5
+        assert len(got) >= 5
+        assert all(nid == "peer" for nid, _ in got)
+        seqs = [s for _, s in got]
+        assert seqs == sorted(seqs)
+
+    def test_listener_rejects_malformed(self, run):
+        async def main():
+            listener = UDPHeartbeatListener(lambda *a: None)
+            await listener.start()
+            loop = asyncio.get_running_loop()
+            transport, _ = await loop.create_datagram_endpoint(
+                asyncio.DatagramProtocol, remote_addr=listener.address
+            )
+            transport.sendto(b"garbage")
+            await asyncio.sleep(0.05)
+            malformed = listener.malformed
+            transport.close()
+            await listener.stop()
+            return malformed
+
+        assert run(main()) == 1
+
+    def test_listener_address_requires_start(self):
+        listener = UDPHeartbeatListener(lambda *a: None)
+        with pytest.raises(ConfigurationError):
+            _ = listener.address
+
+    def test_sender_interval_validation(self):
+        with pytest.raises(ConfigurationError):
+            UDPHeartbeatSender("a", ("127.0.0.1", 1), interval=0.0)
+
+
+class TestLiveMonitor:
+    def test_statuses_through_lifecycle(self, run):
+        async def main():
+            monitor = LiveMonitor(lambda nid: PhiFD(2.0, window_size=16))
+            await monitor.start()
+            sender = UDPHeartbeatSender("n1", monitor.address, interval=0.01)
+            await sender.start()
+            await asyncio.sleep(0.4)
+            alive = monitor.status("n1")
+            await sender.stop()  # crash-stop
+            await asyncio.sleep(0.4)
+            dead = monitor.status("n1")
+            summary = monitor.summary()
+            await monitor.stop()
+            return alive, dead, summary, monitor.received
+
+        alive, dead, summary, received = run(main())
+        assert alive is NodeStatus.ACTIVE
+        assert dead in (NodeStatus.SUSPECT, NodeStatus.DEAD)
+        assert received >= 16
+        assert sum(summary.values()) == 1
+
+    def test_unknown_peer_status(self):
+        monitor = LiveMonitor(lambda nid: PhiFD(2.0, window_size=16))
+        assert monitor.status("ghost") is NodeStatus.UNKNOWN
+
+
+class TestService:
+    def test_bindings_and_status(self, run):
+        async def main():
+            events = []
+            async with FailureDetectionService(
+                lambda nid: PhiFD(2.0, window_size=16), poll_interval=0.02
+            ) as svc:
+                svc.bind(
+                    "n1",
+                    ActionBinding(
+                        "pager",
+                        threshold=4.0,
+                        on_suspect=lambda n, lvl: events.append(n),
+                    ),
+                )
+                sender = UDPHeartbeatSender("n1", svc.address, interval=0.01)
+                await sender.start()
+                await asyncio.sleep(0.4)
+                status_alive = svc.peer_status("n1")
+                await sender.stop()
+                await asyncio.sleep(0.5)
+                status_dead = svc.peer_status("n1")
+                peers = svc.peers()
+            return events, status_alive, status_dead, peers
+
+        events, alive, dead, peers = run(main())
+        assert alive.status is NodeStatus.ACTIVE
+        assert alive.heartbeats >= 16
+        assert dead.suspicion > alive.suspicion
+        assert "pager" in events  # callback fired on the crash
+        assert peers == ["n1"]
+
+    def test_unknown_peer_rejected(self, run):
+        async def main():
+            async with FailureDetectionService(
+                lambda nid: PhiFD(2.0, window_size=8)
+            ) as svc:
+                with pytest.raises(ConfigurationError):
+                    svc.peer_status("ghost")
+
+        run(main())
+
+    def test_poll_interval_validation(self):
+        with pytest.raises(ConfigurationError):
+            FailureDetectionService(
+                lambda nid: PhiFD(2.0, window_size=8), poll_interval=0.0
+            )
+
+
+class TestLiveQoS:
+    def test_monitor_reports_measured_qos(self, run):
+        async def main():
+            monitor = LiveMonitor(
+                lambda nid: PhiFD(2.0, window_size=16), account_qos=True
+            )
+            await monitor.start()
+            sender = UDPHeartbeatSender("n1", monitor.address, interval=0.01)
+            await sender.start()
+            await asyncio.sleep(0.5)
+            qos = monitor.qos("n1")
+            await sender.stop()
+            await monitor.stop()
+            return qos
+
+        qos = run(main())
+        assert qos.samples > 10
+        assert 0.0 <= qos.query_accuracy <= 1.0
+        # TD proxy on a calm localhost link ~ one inter-arrival + margin.
+        assert 0.0 < qos.detection_time < 1.0
+
+
+class TestSFDOverUDP:
+    def test_sfd_runs_live(self, run):
+        """SFD deployed unmodified in the real UDP runtime: warms up,
+        self-accounts, exposes its tuned margin."""
+        from repro.core import SFD, SlotConfig
+        from repro.qos.spec import QoSRequirements
+
+        req = QoSRequirements(
+            max_detection_time=0.5,
+            max_mistake_rate=5.0,
+            min_query_accuracy=0.5,
+        )
+
+        async def main():
+            monitor = LiveMonitor(
+                lambda nid: SFD(
+                    req,
+                    sm1=0.05,
+                    window_size=24,
+                    slot=SlotConfig(12, reset_on_adjust=True, min_slots=2),
+                )
+            )
+            await monitor.start()
+            sender = UDPHeartbeatSender("svc", monitor.address, interval=0.01)
+            await sender.start()
+            await asyncio.sleep(0.8)
+            st = monitor.status("svc")
+            fd = monitor.table.node("svc").detector
+            margin = fd.safety_margin
+            trace_len = len(fd.tuning_trace)
+            await sender.stop()
+            await monitor.stop()
+            return st, margin, trace_len
+
+        status, margin, trace_len = run(main())
+        assert status is NodeStatus.ACTIVE
+        assert margin >= 0.0
+        assert trace_len >= 1  # the feedback loop actually ran live

@@ -1,0 +1,100 @@
+"""Trust/suspect timelines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.qos.timeline import Timeline
+
+
+def tl(starts, ends, t0=0.0, t1=100.0):
+    return Timeline(
+        t_begin=t0, t_end=t1, starts=np.asarray(starts), ends=np.asarray(ends)
+    )
+
+
+class TestConstruction:
+    def test_validation_period(self):
+        with pytest.raises(ConfigurationError):
+            tl([], [], t0=5.0, t1=5.0)
+
+    def test_validation_interval_order(self):
+        with pytest.raises(ConfigurationError):
+            tl([10.0, 5.0], [12.0, 7.0])  # overlapping/decreasing
+        with pytest.raises(ConfigurationError):
+            tl([10.0], [10.0])  # empty interval
+        with pytest.raises(ConfigurationError):
+            tl([-1.0], [5.0])  # outside the period
+
+    def test_from_freshness(self):
+        arrivals = np.array([0.0, 1.0, 3.0, 4.0])
+        freshness = np.array([1.5, 2.0, 4.5, 5.5])
+        t = Timeline.from_freshness(arrivals, freshness)
+        assert t.episodes == 1
+        assert t.starts.tolist() == [2.0]
+        assert t.ends.tolist() == [3.0]
+
+    def test_from_transitions(self):
+        t = Timeline.from_transitions(
+            [(10.0, True), (12.0, False), (50.0, True), (53.0, False)],
+            t_begin=0.0,
+            t_end=100.0,
+        )
+        assert t.episodes == 2
+        assert t.suspect_time == pytest.approx(5.0)
+
+    def test_from_transitions_open_tail(self):
+        t = Timeline.from_transitions(
+            [(90.0, True)], t_begin=0.0, t_end=100.0
+        )
+        assert t.episodes == 1
+        assert t.ends.tolist() == [100.0]
+
+    def test_from_transitions_initially_suspecting(self):
+        t = Timeline.from_transitions(
+            [(10.0, False)], t_begin=0.0, t_end=100.0, initial_suspecting=True
+        )
+        assert t.starts.tolist() == [0.0]
+        assert t.ends.tolist() == [10.0]
+
+
+class TestQueries:
+    def test_availability(self):
+        t = tl([10.0, 50.0], [12.0, 51.0])
+        assert t.suspect_time == pytest.approx(3.0)
+        assert t.availability == pytest.approx(0.97)
+
+    def test_suspecting_at(self):
+        t = tl([10.0, 50.0], [12.0, 51.0])
+        assert not t.suspecting_at(5.0)
+        assert t.suspecting_at(11.0)
+        assert not t.suspecting_at(12.0)  # half-open interval
+        assert t.suspecting_at(50.5)
+        assert not t.suspecting_at(200.0)  # outside the period
+
+    def test_longest_episode(self):
+        t = tl([10.0, 50.0], [12.0, 57.0])
+        assert t.longest_episode() == pytest.approx(7.0)
+        assert tl([], []).longest_episode() == 0.0
+
+
+class TestRender:
+    def test_marks_cells(self):
+        t = tl([50.0], [60.0])
+        bar = t.render(width=10)
+        # Cells 5 (50-60) suspecting.
+        assert "#" in bar and "." in bar
+        strip = bar.split("] ")[1].split(" [")[0]
+        assert strip == "....#....."[:10] or strip.count("#") in (1, 2)
+
+    def test_brief_episode_visible(self):
+        t = tl([50.0], [50.001])
+        strip = t.render(width=10).split("] ")[1].split(" [")[0]
+        assert strip.count("#") == 1
+
+    def test_width_validation(self):
+        with pytest.raises(ConfigurationError):
+            tl([], []).render(width=0)
+
+    def test_reports_availability(self):
+        assert "availability 100.000%" in tl([], []).render()
