@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Chaos drill: the live UDP stack self-healing under injected faults.
+
+The detection layer must survive the faults it observes.  This demo wires
+a FaultInjector (a UDP proxy applying scripted faults) between a heartbeat
+sender and a live monitor, then runs a ChaosScenario:
+
+  t=1.5s  Gilbert-Elliott loss burst begins (~95% loss in long bursts)
+  t=2.5s  burst ends — the monitor re-trusts the peer
+  t=3.5s  sender crash-stop
+  t=5.0s  a *fresh* sender starts (sequence reset to 0) — the membership
+          table recognizes the regression as a restart, resets the peer's
+          detector window, and re-adopts it instead of ignoring it forever
+
+Meanwhile a Supervisor keeps a deliberately flaky status-reporter task
+alive with exponential-backoff restarts.
+
+Run:  python examples/chaos_demo.py      (finishes in ~7 s)
+"""
+
+import asyncio
+
+from repro.detectors import PhiFD
+from repro.net.loss import GilbertElliottLoss
+from repro.runtime import (
+    ChaosScenario,
+    FaultInjector,
+    FaultPlan,
+    LiveMonitor,
+    Supervisor,
+    UDPHeartbeatSender,
+)
+
+NODE = "web-01"
+INTERVAL = 0.02
+
+
+async def main() -> None:
+    monitor = LiveMonitor(lambda nid: PhiFD(2.0, window_size=24))
+    await monitor.start()
+
+    # Senders aim at the injector; survivors reach the monitor.
+    injector = FaultInjector(monitor.address, seed=2012)
+    await injector.start()
+    print(f"monitor on {monitor.address}, fault injector on {injector.address}")
+
+    senders: list[UDPHeartbeatSender] = []
+
+    async def start_sender() -> None:
+        sender = UDPHeartbeatSender(NODE, injector.address, interval=INTERVAL)
+        senders.append(sender)
+        await sender.start()
+
+    await start_sender()
+
+    # A flaky reporter task the supervisor keeps resurrecting.
+    supervisor = Supervisor(backoff_base=0.05, seed=2012)
+    reports = {"n": 0}
+
+    async def flaky_reporter() -> None:
+        while True:
+            await asyncio.sleep(0.5)
+            reports["n"] += 1
+            status = monitor.status(NODE)
+            print(f"  reporter #{reports['n']:2d}: {NODE} is {status.value}")
+            if reports["n"] % 4 == 0:
+                raise RuntimeError("reporter bug (injected)")
+
+    supervisor.supervise("reporter", flaky_reporter)
+
+    burst = FaultPlan(loss=GilbertElliottLoss.from_rate_and_burst(0.95, 30.0))
+    scenario = (
+        ChaosScenario()
+        .burst(1.5, 1.0, injector, burst)
+        .at(3.5, "sender crash", lambda: senders[-1].stop())
+        .at(5.0, "sender restart (seq reset to 0)", start_sender)
+    )
+    await scenario.run(horizon=7.0)
+
+    state = monitor.table.node(NODE)
+    stats = injector.stats
+    print("\nscenario events:")
+    for at, label in scenario.log:
+        print(f"  t={at:4.1f}s  {label}")
+    print(
+        f"\ninjector: {stats.received} datagrams in, {stats.forwarded} out, "
+        f"{stats.burst_dropped} lost to the burst"
+    )
+    print(
+        f"membership: {state.heartbeats} heartbeats, "
+        f"{state.restarts} restart recognized, final status "
+        f"{monitor.status(NODE).value}"
+    )
+    rep = supervisor.stats("reporter")
+    print(
+        f"supervisor: reporter crashed {rep.crashes}x, "
+        f"restarted every time (starts={rep.starts})"
+    )
+
+    await supervisor.stop()
+    await senders[-1].stop()
+    await injector.stop()
+    await monitor.stop()
+
+    assert state.restarts == 1
+    assert monitor.status(NODE).value == "active"
+    assert rep.crashes >= 1 and not rep.gave_up
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -19,7 +19,7 @@ import numpy as np
 from repro.cluster import MembershipTable, MonitorGroup
 from repro.detectors import PhiFD
 from repro.net import LogNormalDelay, BernoulliLoss
-from repro.sim import CrashPlan, HeartbeatSender, MonitorProcess, SimLink, Simulator
+from repro.sim import CrashPlan, HeartbeatSender, SimLink, Simulator
 from repro.sim.process import Heartbeat
 
 SERVERS = ["gsu-app1", "gsu-app2", "ncsu-db1", "umbc-web1"]

@@ -9,6 +9,7 @@ Everything the benchmark suite does is also reachable without pytest::
     python -m repro convergence [--sm1 0.005 1.8]
     python -m repro synth --case WAN-3 -o wan3.npz [-n 100000]
     python -m repro scan [--nodes 120] [--horizon 60]
+    python -m repro chaos [--duration 12] [--crash-at 6 --restart-at 8]
 
 Each subcommand prints the same rows/series the corresponding benchmark
 archives under ``benchmarks/results/``.
@@ -183,6 +184,91 @@ def cmd_consensus(args: argparse.Namespace) -> None:
     print(f"  rounds     : {max(out.rounds[p] for p in out.correct)}")
 
 
+def cmd_chaos(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.cluster.membership import NodeStatus
+    from repro.detectors import PhiFD
+    from repro.net.loss import GilbertElliottLoss
+    from repro.runtime import (
+        ChaosScenario,
+        FaultInjector,
+        FaultPlan,
+        LiveMonitor,
+        UDPHeartbeatSender,
+    )
+
+    node = "node-p"
+
+    async def drill() -> None:
+        monitor = LiveMonitor(lambda nid: PhiFD(2.0, window_size=32))
+        await monitor.start()
+        injector = FaultInjector(monitor.address, seed=args.seed)
+        await injector.start()
+
+        def make_sender() -> UDPHeartbeatSender:
+            return UDPHeartbeatSender(node, injector.address, interval=args.interval)
+
+        senders = [make_sender()]
+        await senders[-1].start()
+
+        burst = FaultPlan(
+            loss=GilbertElliottLoss.from_rate_and_burst(0.85, 16.0)
+        )
+
+        async def crash() -> None:
+            await senders[-1].stop()
+
+        async def restart() -> None:
+            senders.append(make_sender())  # fresh sender: sequence resets to 0
+            await senders[-1].start()
+
+        scenario = (
+            ChaosScenario()
+            .burst(args.burst_at, args.burst_len, injector, burst)
+            .at(args.crash_at, "sender crash (stop)", crash)
+            .at(args.restart_at, "sender restart (seq reset to 0)", restart)
+        )
+
+        samples: list[tuple[float, NodeStatus, float]] = []
+
+        async def sampler() -> None:
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            while True:
+                status = monitor.status(node)
+                level = 0.0
+                if node in monitor.table:
+                    det = monitor.table.node(node).detector
+                    if det.ready:
+                        level = det.suspicion(monitor.clock())
+                samples.append((loop.time() - t0, status, level))
+                await asyncio.sleep(0.25)
+
+        probe = asyncio.create_task(sampler())
+        await scenario.run(horizon=args.duration)
+        probe.cancel()
+        await senders[-1].stop()
+        await injector.stop()
+        restarts = monitor.table.node(node).restarts if node in monitor.table else 0
+        await monitor.stop()
+
+        print(f"chaos drill over {args.duration:g}s (seed {args.seed}):")
+        for at, label in scenario.log:
+            print(f"  event t={at:5.1f}s  {label}")
+        print("\ntimeline:")
+        for t, status, level in samples:
+            print(f"  t={t:5.1f}s  {status.value:8s}  suspicion={level:6.2f}")
+        s = injector.stats
+        print(
+            f"\ninjector: {s.received} in, {s.forwarded} out, "
+            f"{s.burst_dropped} burst-dropped, {s.dropped} dropped"
+        )
+        print(f"restarts recognized by the membership table: {restarts}")
+
+    asyncio.run(drill())
+
+
 def cmd_scan(args: argparse.Namespace) -> None:
     import math
 
@@ -273,6 +359,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--crash-at", type=float, default=2.0)
     p.add_argument("--horizon", type=float, default=60.0)
     p.set_defaults(func=cmd_consensus)
+
+    p = sub.add_parser(
+        "chaos", help="live UDP chaos drill: loss burst + sender crash/restart"
+    )
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--interval", type=float, default=0.05)
+    p.add_argument("--duration", type=float, default=12.0)
+    p.add_argument("--burst-at", type=float, default=3.0)
+    p.add_argument("--burst-len", type=float, default=2.0)
+    p.add_argument("--crash-at", type=float, default=6.0)
+    p.add_argument("--restart-at", type=float, default=8.0)
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("scan", help="PlanetLab-style cluster status scan (DES)")
     p.add_argument("--seed", type=int, default=2012)

@@ -49,6 +49,7 @@ class NodeState:
     last_seq: int = -1
     last_arrival: float = math.nan
     stale_dropped: int = 0
+    restarts: int = 0
     #: Live QoS accounting (wrong suspicions + TD samples), started when
     #: the detector warms up; ``None`` when the table was built with
     #: ``account_qos=False``.
@@ -101,6 +102,12 @@ class MembershipTable:
     auto_register:
         Accept heartbeats from unknown nodes by registering them on the
         fly (how a PlanetLab-style open monitor behaves).
+    reorder_window:
+        Sequence regressions up to this many numbers behind the newest are
+        treated as transport reordering and dropped; regressions *beyond*
+        it mean the sender restarted with a fresh counter, so its detector
+        is reset instead (a crashed-and-restarted node must be re-adopted,
+        not ignored forever).
     """
 
     def __init__(
@@ -109,10 +116,16 @@ class MembershipTable:
         *,
         auto_register: bool = True,
         account_qos: bool = False,
+        reorder_window: int = 8,
     ):
+        if reorder_window < 0:
+            raise ConfigurationError(
+                f"reorder_window must be >= 0, got {reorder_window!r}"
+            )
         self._factory = detector_factory
         self._auto = auto_register
         self._account = account_qos
+        self._reorder_window = int(reorder_window)
         self._nodes: dict[str, NodeState] = {}
 
     def __len__(self) -> int:
@@ -135,15 +148,21 @@ class MembershipTable:
     def heartbeat(
         self, node_id: str, seq: int, arrival: float, send_time: float | None = None
     ) -> NodeState:
-        """Feed one heartbeat from ``node_id`` (stale sequences dropped)."""
+        """Feed one heartbeat from ``node_id``.
+
+        Small sequence regressions (within the reorder window) are dropped
+        as stale; large ones re-adopt the node as freshly restarted.
+        """
         state = self._nodes.get(node_id)
         if state is None:
             if not self._auto:
                 raise ConfigurationError(f"unknown node {node_id!r}")
             state = self.register(node_id)
         if seq <= state.last_seq:
-            state.stale_dropped += 1
-            return state
+            if state.last_seq - seq <= self._reorder_window:
+                state.stale_dropped += 1
+                return state
+            self._mark_restarted(state)
         det = state.detector
         was_ready = det.ready
         if self._account and was_ready and state.accounting is not None:
@@ -171,6 +190,25 @@ class MembershipTable:
             assert state.accounting is not None
             state.accounting.add_detection_sample(fp - origin)
         return state
+
+    def _mark_restarted(self, state: NodeState) -> None:
+        """Re-adopt a node whose sequence counter regressed past the
+        reorder window: the peer crashed and came back with a fresh
+        counter, so its detector history (inter-arrival statistics from
+        the previous incarnation, plus the crash gap) is meaningless."""
+        state.restarts += 1
+        try:
+            state.detector.reset()
+        except NotImplementedError:
+            state.detector = self._factory(state.node_id)
+        state.last_seq = -1
+        state.last_arrival = math.nan
+        state.accounting = None
+
+    @property
+    def restarts(self) -> int:
+        """Total node restarts recognized across the table."""
+        return sum(st.restarts for st in self._nodes.values())
 
     def node(self, node_id: str) -> NodeState:
         state = self._nodes.get(node_id)

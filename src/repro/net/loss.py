@@ -10,6 +10,7 @@ chain, calibrated from the published (loss rate, mean burst length) pair.
 from __future__ import annotations
 
 import abc
+from typing import Callable
 
 import numpy as np
 
@@ -28,6 +29,26 @@ class LossModel(abc.ABC):
     @abc.abstractmethod
     def rate(self) -> float:
         """Long-run fraction of lost messages."""
+
+    def streamer(self, rng: np.random.Generator, *, block: int = 256) -> Callable[[], bool]:
+        """Stateful one-message-at-a-time sampler for live use.
+
+        The replay engines consume whole loss arrays; the live runtime
+        (fault injection middleware) sees one datagram at a time.  The
+        generic implementation buffers :meth:`sample` blocks; models with
+        inter-message memory override it to keep exact state across calls.
+        """
+        if block < 1:
+            raise ConfigurationError(f"block must be >= 1, got {block!r}")
+        buf: list[bool] = []
+
+        def step() -> bool:
+            if not buf:
+                buf.extend(bool(x) for x in self.sample(rng, block))
+                buf.reverse()  # pop() from the front of the block
+            return buf.pop()
+
+        return step
 
 
 class NoLoss(LossModel):
@@ -114,6 +135,23 @@ class GilbertElliottLoss(LossModel):
             i += run
             bad = not bad
         return lost
+
+    def streamer(self, rng: np.random.Generator, *, block: int = 256) -> Callable[[], bool]:
+        """Exact Markov stepping: burst state survives across calls (the
+        generic block-buffered version would restart the chain at the
+        stationary distribution every ``block`` messages)."""
+        state = {"bad": bool(rng.random() < self.rate())}
+
+        def step() -> bool:
+            bad = state["bad"]
+            if bad:
+                if rng.random() < self.p_bg:
+                    state["bad"] = False
+            elif rng.random() < self.p_gb:
+                state["bad"] = True
+            return bad
+
+        return step
 
     def rate(self) -> float:
         return self.p_gb / (self.p_gb + self.p_bg)

@@ -17,6 +17,14 @@ from repro.runtime.udp import (
 )
 from repro.runtime.monitor import LiveMonitor
 from repro.runtime.service import FailureDetectionService, PeerStatus
+from repro.runtime.faults import (
+    ChaosEvent,
+    ChaosScenario,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+)
+from repro.runtime.supervisor import Supervisor, TaskStats
 
 __all__ = [
     "HEARTBEAT_SIZE",
@@ -27,4 +35,11 @@ __all__ = [
     "LiveMonitor",
     "FailureDetectionService",
     "PeerStatus",
+    "FaultPlan",
+    "FaultStats",
+    "FaultInjector",
+    "ChaosEvent",
+    "ChaosScenario",
+    "Supervisor",
+    "TaskStats",
 ]

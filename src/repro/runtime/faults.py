@@ -1,0 +1,442 @@
+"""Fault-injection middleware and scripted chaos scenarios for the live stack.
+
+Section V evaluates the detectors against WAN traces whose adversity
+(message loss in bursts, delay spikes) is baked into the logs; the live
+asyncio runtime had no way to be put under comparable stress.  This module
+adds a datagram-level chaos layer that wraps the UDP path *between* a
+:class:`~repro.runtime.udp.UDPHeartbeatSender` and a listener without
+touching any detector code:
+
+* :class:`FaultInjector` — a UDP proxy: senders aim at its address, it
+  applies a :class:`FaultPlan` (drop, bursty loss via the Gilbert–Elliott
+  model of :mod:`repro.net.loss`, delay/jitter, duplication, reordering,
+  truncation, corruption) and forwards survivors to the real target.
+* :class:`ChaosScenario` — a timed fault script ("loss burst at t=5s for
+  2s, sender crash at t=10s, restart at t=12s") runnable from tests and
+  from ``python -m repro chaos``.
+
+Determinism: the fate of a heartbeat is a pure function of the injector
+seed, the sender id, the sequence number, and the plan in force when it
+arrives — *not* of how many datagrams happened to precede it.  Re-running
+a scenario with the same seed therefore reproduces the same fault
+schedule, which is what makes chaos tests assertable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.loss import GilbertElliottLoss, LossModel
+from repro.runtime.udp import unpack_heartbeat
+
+__all__ = ["FaultPlan", "FaultStats", "FaultInjector", "ChaosEvent", "ChaosScenario"]
+
+# Fixed per-datagram uniform layout: every datagram consumes the same
+# draws regardless of which faults are enabled, so toggling one knob
+# never reshuffles the fate of unrelated packets.
+_U_DROP, _U_DUP, _U_REORDER, _U_TRUNC, _U_CORRUPT, _U_JITTER, _U_BURST0, _U_BURST = (
+    range(8)
+)
+
+
+def _check_prob(name: str, p: float) -> float:
+    if not (0.0 <= p <= 1.0):
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {p!r}")
+    return float(p)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One regime of datagram faults (all independent per datagram).
+
+    Attributes
+    ----------
+    drop:
+        Memoryless per-datagram drop probability.
+    loss:
+        Bursty loss model stepped per heartbeat (use
+        :class:`~repro.net.loss.GilbertElliottLoss` for WAN-style bursts;
+        any other :class:`~repro.net.loss.LossModel` is applied at its
+        stationary rate).
+    delay / jitter:
+        Extra one-way delay: ``delay + jitter * U[0,1)`` seconds.
+    duplicate:
+        Probability of forwarding a datagram twice.
+    reorder / reorder_delay:
+        Probability of holding a datagram back ``reorder_delay`` seconds
+        so later ones overtake it.
+    truncate:
+        Probability of forwarding only the first half of the payload
+        (malformed at the listener).
+    corrupt:
+        Probability of flipping bytes in the payload (may survive the
+        codec with garbage content — the nastier case).
+    """
+
+    drop: float = 0.0
+    loss: LossModel | None = None
+    delay: float = 0.0
+    jitter: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    reorder_delay: float = 0.05
+    truncate: float = 0.0
+    corrupt: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_prob("drop", self.drop)
+        _check_prob("duplicate", self.duplicate)
+        _check_prob("reorder", self.reorder)
+        _check_prob("truncate", self.truncate)
+        _check_prob("corrupt", self.corrupt)
+        for name in ("delay", "jitter", "reorder_delay"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(
+                    f"{name} must be >= 0, got {getattr(self, name)!r}"
+                )
+
+
+@dataclass
+class FaultStats:
+    """Datagram accounting across the injector's lifetime."""
+
+    received: int = 0
+    forwarded: int = 0
+    dropped: int = 0
+    burst_dropped: int = 0
+    delayed: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    truncated: int = 0
+    corrupted: int = 0
+
+    @property
+    def lost(self) -> int:
+        return self.dropped + self.burst_dropped
+
+
+class _InjectorProtocol(asyncio.DatagramProtocol):
+    def __init__(self, owner: "FaultInjector"):
+        self._owner = owner
+        self.transport: asyncio.DatagramTransport | None = None
+
+    def connection_made(self, transport) -> None:  # type: ignore[override]
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:  # type: ignore[override]
+        self._owner.inject(data)
+
+
+class FaultInjector:
+    """Datagram middleware: UDP proxy applying a :class:`FaultPlan`.
+
+    Point senders at :attr:`address`; survivors are forwarded to
+    ``target``.  The plan can be swapped live (:meth:`set_plan`) — that is
+    how :class:`ChaosScenario` scripts loss bursts.
+
+    Parameters
+    ----------
+    target:
+        Downstream ``(host, port)`` (usually a live monitor's address).
+    plan:
+        Initial fault regime (default: forward everything untouched).
+    seed:
+        Root of the per-datagram decision randomness.
+    bind:
+        Upstream listening address (port 0 = ephemeral).
+    """
+
+    def __init__(
+        self,
+        target: tuple[str, int],
+        *,
+        plan: FaultPlan | None = None,
+        seed: int = 0,
+        bind: tuple[str, int] = ("127.0.0.1", 0),
+    ):
+        self.target = target
+        self.plan = plan if plan is not None else FaultPlan()
+        self.seed = int(seed)
+        self._bind = bind
+        self._protocol: _InjectorProtocol | None = None
+        self._pending: set[asyncio.TimerHandle] = set()
+        #: Per-sender Gilbert–Elliott burst state (True = BAD / losing).
+        self._burst_state: dict[str, bool] = {}
+        self.stats = FaultStats()
+        #: The fault schedule: one ``"node#seq:fate"`` entry per datagram,
+        #: in arrival order.  Identical across runs with the same seed and
+        #: the same plan regime per heartbeat.
+        self.schedule: list[str] = []
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        _, protocol = await loop.create_datagram_endpoint(
+            lambda: _InjectorProtocol(self), local_addr=self._bind
+        )
+        self._protocol = protocol
+
+    async def stop(self) -> None:
+        for handle in tuple(self._pending):
+            handle.cancel()
+        self._pending.clear()
+        if self._protocol is not None and self._protocol.transport is not None:
+            self._protocol.transport.close()
+            self._protocol = None
+
+    async def __aenter__(self) -> "FaultInjector":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Where senders should aim (valid after :meth:`start`)."""
+        if self._protocol is None or self._protocol.transport is None:
+            raise ConfigurationError("injector is not started")
+        return self._protocol.transport.get_extra_info("sockname")[:2]
+
+    def set_plan(self, plan: FaultPlan) -> None:
+        """Switch fault regime; burst chains restart at their stationary
+        distribution (keeps schedules seed-deterministic)."""
+        self.plan = plan
+        self._burst_state.clear()
+
+    # -- the datagram path ---------------------------------------------- #
+
+    def inject(self, data: bytes) -> None:
+        """Run one datagram through the fault pipeline.
+
+        Called by the proxy socket for live traffic; callable directly in
+        tests to drive a deterministic packet sequence.
+        """
+        self.stats.received += 1
+        key, u = self._decide(data)
+        plan = self.plan
+        fates: list[str] = []
+
+        if self._burst_lost(key, u):
+            self.stats.burst_dropped += 1
+            self._log(key, "burst-drop")
+            return
+        if u[_U_DROP] < plan.drop:
+            self.stats.dropped += 1
+            self._log(key, "drop")
+            return
+
+        if u[_U_TRUNC] < plan.truncate:
+            data = data[: max(1, len(data) // 2)]
+            self.stats.truncated += 1
+            fates.append("truncate")
+        if u[_U_CORRUPT] < plan.corrupt:
+            data = self._corrupt(data, u)
+            self.stats.corrupted += 1
+            fates.append("corrupt")
+
+        delay = plan.delay + plan.jitter * float(u[_U_JITTER])
+        if u[_U_REORDER] < plan.reorder:
+            delay += plan.reorder_delay
+            self.stats.reordered += 1
+            fates.append("reorder")
+
+        copies = 1
+        if u[_U_DUP] < plan.duplicate:
+            copies = 2
+            self.stats.duplicated += 1
+            fates.append("dup")
+
+        self._log(key, "+".join(fates) if fates else "deliver")
+        for _ in range(copies):
+            if delay > 0.0:
+                self.stats.delayed += 1
+                self._send_later(data, delay)
+            else:
+                self._send(data)
+
+    def _decide(self, data: bytes) -> tuple[str, np.ndarray]:
+        """Key a datagram and derive its decision uniforms.
+
+        Valid heartbeats are keyed by (sender id, seq) so their fate does
+        not depend on arrival timing; unparseable datagrams fall back to
+        an arrival counter.
+        """
+        try:
+            node_id, seq, _ = unpack_heartbeat(data)
+            key = f"{node_id}#{seq}"
+            words = [self.seed, 1, zlib.crc32(node_id.encode("ascii")), seq]
+        except ConfigurationError:
+            key = f"?{self.stats.received - 1}"
+            words = [self.seed, 2, self.stats.received - 1]
+        rng = np.random.default_rng(np.random.SeedSequence(words))
+        return key, rng.random(8)
+
+    def _burst_lost(self, key: str, u: np.ndarray) -> bool:
+        loss = self.plan.loss
+        if loss is None:
+            return False
+        sender = key.split("#", 1)[0]
+        if not isinstance(loss, GilbertElliottLoss):
+            return bool(u[_U_BURST] < loss.rate())
+        bad = self._burst_state.get(sender)
+        if bad is None:
+            bad = bool(u[_U_BURST0] < loss.rate())
+        lost = bad
+        if bad:
+            if u[_U_BURST] < loss.p_bg:
+                bad = False
+        elif u[_U_BURST] < loss.p_gb:
+            bad = True
+        self._burst_state[sender] = bad
+        return lost
+
+    @staticmethod
+    def _corrupt(data: bytes, u: np.ndarray) -> bytes:
+        # Flip one byte at a decision-derived offset; size is preserved so
+        # the damage can sail through the codec's length check.
+        pos = int(u[_U_CORRUPT] * 1e9) % len(data)
+        out = bytearray(data)
+        out[pos] ^= 0xFF
+        return bytes(out)
+
+    def _send(self, data: bytes) -> None:
+        protocol = self._protocol
+        if protocol is None or protocol.transport is None:
+            return  # stopped while a delayed datagram was in flight
+        protocol.transport.sendto(data, self.target)
+        self.stats.forwarded += 1
+
+    def _send_later(self, data: bytes, delay: float) -> None:
+        loop = asyncio.get_running_loop()
+        handle: asyncio.TimerHandle
+
+        def fire() -> None:
+            self._pending.discard(handle)
+            self._send(data)
+
+        handle = loop.call_later(delay, fire)
+        self._pending.add(handle)
+
+    def _log(self, key: str, fate: str) -> None:
+        self.schedule.append(f"{key}:{fate}")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scripted step: at ``at`` seconds from scenario start, run
+    ``action`` (sync or async zero-arg callable)."""
+
+    at: float
+    label: str
+    action: Callable[[], Any]
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError(f"event time must be >= 0, got {self.at!r}")
+
+
+class ChaosScenario:
+    """Timed fault schedule over live runtime components.
+
+    Events run in time order on the current event loop; each action may be
+    a plain callable or return an awaitable.  The executed ``(at, label)``
+    pairs are recorded in :attr:`log`.
+
+    Usage::
+
+        scenario = (
+            ChaosScenario()
+            .set_plan(5.0, injector, burst_plan, label="loss burst on")
+            .set_plan(7.0, injector, FaultPlan(), label="loss burst off")
+            .at(10.0, "crash sender", sender.stop)
+            .at(12.0, "restart sender", restart)
+        )
+        await scenario.run(horizon=16.0)
+    """
+
+    def __init__(self) -> None:
+        self._events: list[ChaosEvent] = []
+        self.log: list[tuple[float, str]] = []
+
+    # -- scripting ------------------------------------------------------ #
+
+    def at(self, when: float, label: str, action: Callable[[], Any]) -> "ChaosScenario":
+        """Schedule an arbitrary action; returns self for chaining."""
+        self._events.append(ChaosEvent(at=when, label=label, action=action))
+        return self
+
+    def set_plan(
+        self,
+        when: float,
+        injector: FaultInjector,
+        plan: FaultPlan,
+        *,
+        label: str | None = None,
+    ) -> "ChaosScenario":
+        """Schedule a fault-regime switch on ``injector``."""
+        return self.at(
+            when,
+            label if label is not None else f"set_plan({plan!r})",
+            lambda: injector.set_plan(plan),
+        )
+
+    def burst(
+        self,
+        start: float,
+        duration: float,
+        injector: FaultInjector,
+        plan: FaultPlan,
+    ) -> "ChaosScenario":
+        """Apply ``plan`` for ``[start, start+duration)``, then restore the
+        plan that was in force when the burst begins."""
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration!r}")
+        saved: list[FaultPlan] = []
+
+        def on() -> None:
+            saved.append(injector.plan)
+            injector.set_plan(plan)
+
+        def off() -> None:
+            injector.set_plan(saved.pop() if saved else FaultPlan())
+
+        self.at(start, f"burst on @{start:g}s", on)
+        self.at(start + duration, f"burst off @{start + duration:g}s", off)
+        return self
+
+    @property
+    def events(self) -> tuple[ChaosEvent, ...]:
+        return tuple(sorted(self._events, key=lambda e: e.at))
+
+    # -- execution ------------------------------------------------------ #
+
+    async def run(self, *, horizon: float | None = None) -> list[tuple[float, str]]:
+        """Execute the script; returns (and stores) the executed log.
+
+        ``horizon`` extends the run past the last event so after-effects
+        (detector recovery, supervisor restarts) have time to play out.
+        """
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        for event in self.events:
+            delay = start + event.at - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            result = event.action()
+            if inspect.isawaitable(result):
+                await result
+            self.log.append((event.at, event.label))
+        if horizon is not None:
+            remaining = start + horizon - loop.time()
+            if remaining > 0:
+                await asyncio.sleep(remaining)
+        return self.log

@@ -38,6 +38,7 @@ class PeerStatus:
     suspicion: float
     heartbeats: int
     last_arrival: float
+    restarts: int = 0
 
 
 class FailureDetectionService:
@@ -70,6 +71,8 @@ class FailureDetectionService:
         self.monitor = LiveMonitor(detector_factory, bind=bind, clock=clock)
         self.poll_interval = float(poll_interval)
         self.clock = clock
+        self.binding_errors = 0
+        self.last_binding_error: tuple[str, str] | None = None
         self._accruals: dict[str, AccrualService] = {}
         self._poller: asyncio.Task | None = None
 
@@ -115,9 +118,19 @@ class FailureDetectionService:
     async def _poll_loop(self) -> None:
         while True:
             now = self.clock()
-            for node_id, svc in self._accruals.items():
-                if svc.detector.ready:
+            for node_id, svc in list(self._accruals.items()):
+                if not svc.detector.ready:
+                    continue
+                try:
                     svc.poll(now)
+                except Exception as exc:
+                    # One faulty application callback must not kill the
+                    # poller for every other binding on every other peer.
+                    self.binding_errors += 1
+                    self.last_binding_error = (
+                        node_id,
+                        f"{type(exc).__name__}: {exc}",
+                    )
             await asyncio.sleep(self.poll_interval)
 
     # -- queries ---------------------------------------------------------#
@@ -135,6 +148,7 @@ class FailureDetectionService:
             suspicion=level,
             heartbeats=state.heartbeats,
             last_arrival=state.last_arrival,
+            restarts=state.restarts,
         )
 
     def peers(self) -> list[str]:

@@ -1,0 +1,194 @@
+"""Self-healing task supervision for the live runtime.
+
+The detection layer must itself survive the faults it is built to observe
+(the robustness argument of Dobre et al.'s large-scale FD architecture):
+a heartbeat sender or a service poll loop that dies on an unhandled
+exception silently turns a *monitored* system into an *unmonitored* one.
+
+:class:`Supervisor` owns long-running asyncio tasks and restarts them when
+they crash, with exponential backoff plus deterministic jitter (seeded, so
+chaos experiments replay identically) and per-task crash accounting.  A
+task that returns cleanly is considered done; cancellation always wins.
+
+Usage::
+
+    sup = Supervisor(backoff_base=0.1)
+    sup.supervise("hb-sender", run_sender)     # factory returning a coroutine
+    ...
+    print(sup.stats("hb-sender").crashes)
+    await sup.stop()
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Awaitable, Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TaskStats", "Supervisor"]
+
+
+@dataclass
+class TaskStats:
+    """Crash/restart accounting for one supervised task."""
+
+    name: str
+    starts: int = 0
+    crashes: int = 0
+    last_error: str | None = None
+    last_backoff: float = 0.0
+    #: Set when ``max_restarts`` was exhausted and supervision stopped.
+    gave_up: bool = False
+
+    @property
+    def restarts(self) -> int:
+        return max(0, self.starts - 1)
+
+
+class Supervisor:
+    """Restart-on-crash owner for runtime tasks.
+
+    Parameters
+    ----------
+    backoff_base:
+        Delay before the first restart, seconds.
+    backoff_factor:
+        Multiplier applied per consecutive crash.
+    backoff_max:
+        Ceiling on the deterministic part of the delay.
+    jitter:
+        Uniform multiplicative jitter: the actual delay is
+        ``delay * (1 + jitter * U[0,1))`` — decorrelates restart storms
+        across supervised tasks while staying seed-reproducible.
+    max_restarts:
+        Consecutive crashes tolerated before giving up (``None`` = never
+        give up).  The counter resets once a run survives ``backoff_max``
+        seconds, so a task that crashes rarely is restarted forever.
+    seed:
+        Seed for the jitter stream.
+    """
+
+    def __init__(
+        self,
+        *,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 2.0,
+        jitter: float = 0.5,
+        max_restarts: int | None = None,
+        seed: int = 0,
+    ):
+        if backoff_base <= 0:
+            raise ConfigurationError(f"backoff_base must be > 0, got {backoff_base!r}")
+        if backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {backoff_factor!r}"
+            )
+        if backoff_max < backoff_base:
+            raise ConfigurationError(
+                f"backoff_max must be >= backoff_base, got {backoff_max!r}"
+            )
+        if jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {jitter!r}")
+        if max_restarts is not None and max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be >= 0, got {max_restarts!r}"
+            )
+        self.backoff_base = float(backoff_base)
+        self.backoff_factor = float(backoff_factor)
+        self.backoff_max = float(backoff_max)
+        self.jitter = float(jitter)
+        self.max_restarts = max_restarts
+        self._rng = np.random.default_rng(seed)
+        self._tasks: dict[str, asyncio.Task] = {}
+        self._stats: dict[str, TaskStats] = {}
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def supervise(
+        self, name: str, factory: Callable[[], Awaitable[None]]
+    ) -> asyncio.Task:
+        """Start supervising ``factory`` under ``name``.
+
+        ``factory`` is called to (re)build the coroutine on every start,
+        so crashed state is rebuilt from scratch each attempt.
+        """
+        if name in self._tasks and not self._tasks[name].done():
+            raise ConfigurationError(f"task {name!r} is already supervised")
+        self._stats[name] = TaskStats(name=name)
+        task = asyncio.get_running_loop().create_task(
+            self._guard(name, factory), name=f"supervise-{name}"
+        )
+        self._tasks[name] = task
+        return task
+
+    async def _guard(self, name: str, factory: Callable[[], Awaitable[None]]) -> None:
+        stats = self._stats[name]
+        consecutive = 0
+        loop = asyncio.get_running_loop()
+        while True:
+            stats.starts += 1
+            began = loop.time()
+            try:
+                await factory()
+                return  # clean completion: nothing left to heal
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                stats.crashes += 1
+                stats.last_error = f"{type(exc).__name__}: {exc}"
+                if loop.time() - began >= self.backoff_max:
+                    consecutive = 0  # it ran for a while: fresh fault, fresh budget
+                consecutive += 1
+                if self.max_restarts is not None and consecutive > self.max_restarts:
+                    stats.gave_up = True
+                    return
+                delay = min(
+                    self.backoff_base * self.backoff_factor ** (consecutive - 1),
+                    self.backoff_max,
+                )
+                delay *= 1.0 + self.jitter * float(self._rng.random())
+                stats.last_backoff = delay
+                await asyncio.sleep(delay)
+
+    async def cancel(self, name: str) -> None:
+        """Stop supervising one task (idempotent)."""
+        task = self._tasks.pop(name, None)
+        if task is None:
+            return
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        """Cancel every supervised task."""
+        for name in list(self._tasks):
+            await self.cancel(name)
+
+    async def __aenter__(self) -> "Supervisor":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- accounting ----------------------------------------------------- #
+
+    def stats(self, name: str) -> TaskStats:
+        try:
+            return self._stats[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown task {name!r}") from None
+
+    def all_stats(self) -> tuple[TaskStats, ...]:
+        return tuple(self._stats.values())
+
+    def alive(self, name: str) -> bool:
+        """True while the guard (and therefore restarts) is still running."""
+        task = self._tasks.get(name)
+        return task is not None and not task.done()

@@ -14,6 +14,7 @@ clocks are not synchronized (Section II-B).
 from __future__ import annotations
 
 import asyncio
+import math
 import struct
 import time
 from typing import Callable
@@ -58,9 +59,18 @@ def unpack_heartbeat(data: bytes) -> tuple[str, int, float]:
 class _SenderProtocol(asyncio.DatagramProtocol):
     def __init__(self) -> None:
         self.transport: asyncio.DatagramTransport | None = None
+        self.errors = 0
 
     def connection_made(self, transport) -> None:  # type: ignore[override]
         self.transport = transport
+
+    def error_received(self, exc) -> None:  # type: ignore[override]
+        # ICMP unreachable etc.; UDP heartbeats are fire-and-forget, so
+        # count it and keep the endpoint open.
+        self.errors += 1
+
+    def connection_lost(self, exc) -> None:  # type: ignore[override]
+        self.transport = None
 
 
 class UDPHeartbeatSender:
@@ -84,15 +94,23 @@ class UDPHeartbeatSender:
         *,
         interval: float = 0.1,
         clock: Callable[[], float] = time.time,
+        reopen_backoff_max: float = 2.0,
     ):
         if interval <= 0:
             raise ConfigurationError(f"interval must be > 0, got {interval!r}")
+        if reopen_backoff_max <= 0:
+            raise ConfigurationError(
+                f"reopen_backoff_max must be > 0, got {reopen_backoff_max!r}"
+            )
         pack_heartbeat(node_id, 0, 0.0)  # validate the id eagerly
         self.node_id = node_id
         self.target = target
         self.interval = float(interval)
         self.clock = clock
         self.sent = 0
+        self.send_errors = 0
+        self.reopens = 0
+        self._reopen_backoff_max = float(reopen_backoff_max)
         self._protocol: _SenderProtocol | None = None
         self._task: asyncio.Task | None = None
 
@@ -104,18 +122,67 @@ class UDPHeartbeatSender:
         self._protocol = protocol
         self._task = asyncio.create_task(self._run(), name=f"hb-send-{self.node_id}")
 
-    async def _run(self) -> None:
-        assert self._protocol is not None and self._protocol.transport is not None
-        transport = self._protocol.transport
-        try:
-            while True:
-                transport.sendto(
-                    pack_heartbeat(self.node_id, self.sent, self.clock())
+    def _send_one(self) -> None:
+        protocol = self._protocol
+        if (
+            protocol is None
+            or protocol.transport is None
+            or protocol.transport.is_closing()
+        ):
+            raise OSError("heartbeat transport is closed")
+        protocol.transport.sendto(
+            pack_heartbeat(self.node_id, self.sent, self.clock())
+        )
+        self.sent += 1
+
+    async def _reopen(self) -> None:
+        """Re-establish the datagram endpoint, backing off exponentially.
+
+        Heartbeats must outlive transient socket failures (the detection
+        layer has to survive the faults it observes); give up only on
+        cancellation.
+        """
+        loop = asyncio.get_running_loop()
+        delay = self.interval
+        while True:
+            if self._protocol is not None and self._protocol.transport is not None:
+                self._protocol.transport.close()
+            self._protocol = None
+            try:
+                _, protocol = await loop.create_datagram_endpoint(
+                    _SenderProtocol, remote_addr=self.target
                 )
-                self.sent += 1
-                await asyncio.sleep(self.interval)
-        except asyncio.CancelledError:
-            raise
+            except OSError:
+                await asyncio.sleep(delay)
+                delay = min(2.0 * delay, self._reopen_backoff_max)
+                continue
+            self._protocol = protocol
+            self.reopens += 1
+            return
+
+    async def _run(self) -> None:
+        # Pace against absolute deadlines (start + n*interval): sleeping a
+        # fixed interval *after* each send would add the send/loop overhead
+        # to every period, drifting the emitted rate away from the Δi the
+        # detectors' estimators assume.
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        ticks = 0
+        while True:
+            try:
+                self._send_one()
+            except OSError:
+                self.send_errors += 1
+                await self._reopen()
+            ticks += 1
+            deadline = start + ticks * self.interval
+            delay = deadline - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            elif -delay > self.interval:
+                # Fell more than a full period behind (suspended loop or a
+                # long reopen): rebase rather than burst-send the backlog.
+                start = loop.time() - ticks * self.interval
 
     async def stop(self) -> None:
         """Crash-stop: cease sending and close the socket."""
@@ -136,23 +203,46 @@ class _ListenerProtocol(asyncio.DatagramProtocol):
         self,
         on_heartbeat: Callable[[str, int, float, float], None],
         clock: Callable[[], float],
+        malformed_limit: int,
     ):
         self._on_heartbeat = on_heartbeat
         self._clock = clock
+        self._malformed_limit = malformed_limit
+        self._window_start = -math.inf
+        self._window_count = 0
         self.transport: asyncio.DatagramTransport | None = None
         self.malformed = 0
+        self.malformed_suppressed = 0
+        self.callback_errors = 0
 
     def connection_made(self, transport) -> None:  # type: ignore[override]
         self.transport = transport
+
+    def _note_malformed(self, now: float) -> None:
+        # Token-bucket on a 1-second window: a garbage flood must not be
+        # able to spin the rejection path (or anything hung off it) at
+        # line rate; beyond the limit rejects are counted in bulk only.
+        if now - self._window_start >= 1.0:
+            self._window_start = now
+            self._window_count = 0
+        self._window_count += 1
+        if self._window_count <= self._malformed_limit:
+            self.malformed += 1
+        else:
+            self.malformed_suppressed += 1
 
     def datagram_received(self, data: bytes, addr) -> None:  # type: ignore[override]
         arrival = self._clock()
         try:
             node_id, seq, send_time = unpack_heartbeat(data)
         except ConfigurationError:
-            self.malformed += 1
+            self._note_malformed(arrival)
             return
-        self._on_heartbeat(node_id, seq, send_time, arrival)
+        try:
+            self._on_heartbeat(node_id, seq, send_time, arrival)
+        except Exception:
+            # A faulty consumer must not tear down the datagram transport.
+            self.callback_errors += 1
 
 
 class UDPHeartbeatListener:
@@ -169,6 +259,9 @@ class UDPHeartbeatListener:
     clock:
         Local arrival clock (monotonic by default: detector math needs
         steadiness, not wall alignment).
+    malformed_limit:
+        Maximum malformed datagrams *individually* accounted per second;
+        floods beyond it are only bulk-counted (:attr:`malformed_suppressed`).
     """
 
     def __init__(
@@ -177,16 +270,24 @@ class UDPHeartbeatListener:
         *,
         bind: tuple[str, int] = ("127.0.0.1", 0),
         clock: Callable[[], float] = time.monotonic,
+        malformed_limit: int = 100,
     ):
+        if malformed_limit < 1:
+            raise ConfigurationError(
+                f"malformed_limit must be >= 1, got {malformed_limit!r}"
+            )
         self._on_heartbeat = on_heartbeat
         self._bind = bind
         self._clock = clock
+        self._malformed_limit = int(malformed_limit)
         self._protocol: _ListenerProtocol | None = None
 
     async def start(self) -> None:
         loop = asyncio.get_running_loop()
         _, protocol = await loop.create_datagram_endpoint(
-            lambda: _ListenerProtocol(self._on_heartbeat, self._clock),
+            lambda: _ListenerProtocol(
+                self._on_heartbeat, self._clock, self._malformed_limit
+            ),
             local_addr=self._bind,
         )
         self._protocol = protocol
@@ -200,8 +301,18 @@ class UDPHeartbeatListener:
 
     @property
     def malformed(self) -> int:
-        """Datagrams rejected by the codec so far."""
+        """Datagrams rejected by the codec so far (rate-limited count)."""
         return self._protocol.malformed if self._protocol else 0
+
+    @property
+    def malformed_suppressed(self) -> int:
+        """Rejects beyond the per-second accounting limit (flood tail)."""
+        return self._protocol.malformed_suppressed if self._protocol else 0
+
+    @property
+    def callback_errors(self) -> int:
+        """Exceptions swallowed from the ``on_heartbeat`` consumer."""
+        return self._protocol.callback_errors if self._protocol else 0
 
     async def stop(self) -> None:
         if self._protocol is not None and self._protocol.transport is not None:

@@ -10,7 +10,6 @@ from repro.errors import ConfigurationError
 from repro.qos.spec import QoSRequirements
 from repro.analysis import (
     PAPER_TABLE2,
-    ExperimentSetup,
     bertier_point,
     chen_curve,
     default_setup,
@@ -211,8 +210,6 @@ class TestFastSweep:
     """The one-pass Chen evaluator must agree exactly with the replay."""
 
     def test_exact_agreement_with_replay_sweep(self, view):
-        import numpy as np
-
         from repro.analysis import ChenSweeper, chen_curve
 
         alphas = [0.0, 0.003, 0.02, 0.1, 0.5, 1.5]

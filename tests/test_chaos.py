@@ -1,0 +1,184 @@
+"""End-to-end chaos: scripted faults against the live UDP stack.
+
+The acceptance scenario of the robustness layer: a :class:`ChaosScenario`
+injects a Gilbert–Elliott loss burst, then crashes and restarts a
+heartbeat sender (sequence reset to 0).  The live monitor must suspect the
+peer during each outage and return it to ALIVE afterwards — the restart
+being recognized by the membership table, not silently ignored — and the
+fault schedule must be reproducible from the seed.
+"""
+
+import asyncio
+
+from repro.cluster.membership import NodeStatus
+from repro.detectors import PhiFD
+from repro.net.loss import GilbertElliottLoss
+from repro.runtime import (
+    ChaosScenario,
+    FaultInjector,
+    FaultPlan,
+    LiveMonitor,
+    UDPHeartbeatSender,
+    pack_heartbeat,
+)
+
+INTERVAL = 0.02
+WINDOW = 16
+
+# Scenario timings (seconds; event times sit mid-heartbeat-interval so the
+# seq falling on either side of a regime switch is timing-robust).
+BURST_ON = 0.825
+BURST_OFF = 1.625
+CRASH = 2.425
+RESTART = 3.225
+HORIZON = 4.5
+
+SUSPECTED = (NodeStatus.SUSPECT, NodeStatus.DEAD)
+
+
+def burst_plan() -> FaultPlan:
+    # ~95% stationary loss in long bursts: an outage with stragglers.
+    return FaultPlan(loss=GilbertElliottLoss.from_rate_and_burst(0.95, 30.0))
+
+
+async def run_scenario(seed: int):
+    monitor = LiveMonitor(lambda nid: PhiFD(2.0, window_size=WINDOW))
+    await monitor.start()
+    injector = FaultInjector(monitor.address, seed=seed)
+    await injector.start()
+
+    senders: list[UDPHeartbeatSender] = []
+
+    async def start_sender() -> None:
+        sender = UDPHeartbeatSender("p", injector.address, interval=INTERVAL)
+        senders.append(sender)
+        await sender.start()
+
+    await start_sender()
+
+    timeline: list[tuple[float, NodeStatus, int, int]] = []
+
+    async def sampler() -> None:
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        while True:
+            heartbeats = restarts = 0
+            status = monitor.status("p")
+            if "p" in monitor.table:
+                state = monitor.table.node("p")
+                heartbeats, restarts = state.heartbeats, state.restarts
+            timeline.append((loop.time() - t0, status, heartbeats, restarts))
+            await asyncio.sleep(0.025)
+
+    probe = asyncio.create_task(sampler())
+    scenario = (
+        ChaosScenario()
+        .burst(BURST_ON, BURST_OFF - BURST_ON, injector, burst_plan())
+        .at(CRASH, "sender crash", lambda: senders[-1].stop())
+        .at(RESTART, "sender restart (seq reset)", start_sender)
+    )
+    await scenario.run(horizon=HORIZON)
+    probe.cancel()
+
+    await senders[-1].stop()
+    await injector.stop()
+    await monitor.stop()
+    return timeline, injector, scenario
+
+
+def between(timeline, lo, hi):
+    return [entry for entry in timeline if lo <= entry[0] < hi]
+
+
+class TestEndToEndSelfHealing:
+    def test_burst_crash_restart_cycle(self):
+        timeline, injector, scenario = asyncio.run(run_scenario(seed=2012))
+
+        # Warm-up: trusted before any fault is injected.
+        assert any(
+            st is NodeStatus.ACTIVE for _, st, _, _ in between(timeline, 0.5, BURST_ON)
+        )
+
+        # Loss burst: suspicion rises past the threshold during the outage…
+        assert any(
+            st in SUSPECTED
+            for _, st, _, _ in between(timeline, BURST_ON + 0.1, BURST_OFF)
+        )
+        assert injector.stats.burst_dropped > 5
+
+        # …and recovers once delivery resumes.
+        assert any(
+            st is NodeStatus.ACTIVE for _, st, _, _ in between(timeline, BURST_OFF, CRASH)
+        )
+
+        # Crash: permanent suspicion until the restart.
+        assert any(
+            st in SUSPECTED for _, st, _, _ in between(timeline, CRASH + 0.3, RESTART)
+        )
+
+        # Restart with a fresh sequence counter: recognized as a restart
+        # (not dropped forever) and re-trusted within a bounded number of
+        # post-restart heartbeats.
+        post = [e for e in timeline if e[0] >= RESTART and e[3] >= 1]
+        assert post, "membership table never recognized the restart"
+        assert post[0][3] == 1
+        base_heartbeats = post[0][2]
+        active = [e for e in post if e[1] is NodeStatus.ACTIVE]
+        assert active, "peer never returned to ALIVE after the restart"
+        # Bounded re-trust: warm-up window plus slack, not "eventually".
+        assert active[0][2] - base_heartbeats <= 2 * WINDOW + 8
+
+        # The scripted events all ran, in order.
+        assert [label for _, label in scenario.log] == [
+            f"burst on @{BURST_ON:g}s",
+            f"burst off @{BURST_OFF:g}s",
+            "sender crash",
+            "sender restart (seq reset)",
+        ]
+
+
+class TestScheduleReproducibility:
+    @staticmethod
+    def _scripted_schedule(seed: int) -> list[str]:
+        """The same regime sequence as the live scenario, but with the
+        heartbeat stream driven by the script itself, so two runs see the
+        exact same datagrams and the schedules must match byte for byte."""
+
+        async def main():
+            injector = FaultInjector(("127.0.0.1", 9), seed=seed)
+
+            def feed(lo: int, hi: int):
+                def action() -> None:
+                    for i in range(lo, hi):
+                        injector.inject(pack_heartbeat("p", i, 0.0))
+
+                return action
+
+            scenario = (
+                ChaosScenario()
+                .at(0.0, "warm traffic", feed(0, 40))
+                .set_plan(0.01, injector, burst_plan(), label="burst on")
+                .at(0.02, "burst traffic", feed(40, 80))
+                .set_plan(0.03, injector, FaultPlan(), label="burst off")
+                .at(0.04, "recovery traffic", feed(80, 120))
+            )
+            await scenario.run()
+            return injector.schedule
+
+        return asyncio.run(main())
+
+    def test_fixed_seed_reproduces_fault_schedule(self):
+        first = self._scripted_schedule(2012)
+        second = self._scripted_schedule(2012)
+        assert first == second
+        assert len(first) == 120
+
+    def test_different_seed_changes_schedule(self):
+        assert self._scripted_schedule(2012) != self._scripted_schedule(99)
+
+    def test_burst_confined_to_burst_regime(self):
+        schedule = self._scripted_schedule(2012)
+        burst_drops = [e for e in schedule if e.endswith(":burst-drop")]
+        assert burst_drops, "burst regime lost nothing"
+        seqs = [int(e.split("#")[1].split(":")[0]) for e in burst_drops]
+        assert all(40 <= s < 80 for s in seqs)

@@ -248,3 +248,81 @@ class TestExpiry:
         t = MembershipTable(fixed_factory())
         with pytest.raises(ConfigurationError):
             t.expire(now=1.0, silent_for=0.0)
+
+
+class TestRestartDetection:
+    def test_small_regression_is_stale(self):
+        t = MembershipTable(fixed_factory())
+        feed_regular(t, "a", n=20)
+        st = t.heartbeat("a", 15, 2.0)  # within the default reorder window
+        assert st.stale_dropped == 1
+        assert st.restarts == 0
+
+    def test_large_regression_is_restart(self):
+        t = MembershipTable(fixed_factory(0.5))
+        feed_regular(t, "a", n=20)  # last_seq = 19
+        st = t.heartbeat("a", 0, 5.0)  # way beyond any reordering
+        assert st.restarts == 1
+        assert st.stale_dropped == 0
+        assert st.last_seq == 0  # the restart heartbeat was consumed
+        assert st.heartbeats == 21
+
+    def test_restart_resets_detector_window(self):
+        t = MembershipTable(lambda nid: PhiFD(4.0, window_size=5))
+        feed_regular(t, "a", n=12, interval=0.1)
+        assert t.node("a").detector.ready
+        t.heartbeat("a", 0, 60.0)
+        # A fresh incarnation re-enters warm-up: the 60 s crash gap must
+        # not pollute the inter-arrival window.
+        assert not t.node("a").detector.ready
+        for i in range(1, 12):
+            t.heartbeat("a", i, 60.0 + 0.1 * i)
+        st = t.node("a")
+        assert st.detector.ready
+        assert st.status(61.2) is NodeStatus.ACTIVE
+
+    def test_restarted_node_keeps_same_detector_instance(self):
+        # AccrualService bindings hold the detector object; reset() must
+        # happen in place for them to follow the new incarnation.
+        t = MembershipTable(lambda nid: PhiFD(4.0, window_size=5))
+        feed_regular(t, "a", n=12)
+        det = t.node("a").detector
+        t.heartbeat("a", 0, 60.0)
+        assert t.node("a").detector is det
+
+    def test_table_restart_total(self):
+        t = MembershipTable(fixed_factory())
+        feed_regular(t, "a", n=20)
+        feed_regular(t, "b", n=20)
+        t.heartbeat("a", 0, 5.0)
+        t.heartbeat("b", 1, 5.0)
+        t.heartbeat("a", 1, 99.0)
+        # "a" hit seq 1 after its restart consumed seq 0 — no new restart.
+        assert t.restarts == 2
+
+    def test_reorder_window_zero_treats_any_regression_as_restart(self):
+        t = MembershipTable(fixed_factory(), reorder_window=0)
+        feed_regular(t, "a", n=5)
+        st = t.heartbeat("a", 3, 1.0)
+        assert st.restarts == 1
+
+    def test_duplicate_seq_is_stale_not_restart(self):
+        t = MembershipTable(fixed_factory())
+        feed_regular(t, "a", n=5)
+        st = t.heartbeat("a", 4, 1.0)
+        assert st.stale_dropped == 1 and st.restarts == 0
+
+    def test_reorder_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            MembershipTable(fixed_factory(), reorder_window=-1)
+
+    def test_qos_accounting_restarts_with_node(self):
+        t = MembershipTable(fixed_factory(0.5), account_qos=True)
+        feed_regular(t, "a", n=30)
+        t.heartbeat("a", 0, 100.0)
+        for i in range(1, 30):
+            t.heartbeat("a", i, 100.0 + 0.1 * i)
+        qos = t.node("a").qos(103.0)
+        # Accounting restarted cleanly with the new incarnation: the 97 s
+        # crash gap is not billed as one gigantic mistake.
+        assert qos.mistakes == 0

@@ -5,8 +5,6 @@ against ground truth, across detector choices (including SFD itself),
 crash scenarios, and lossy links.
 """
 
-import math
-
 import pytest
 
 from repro.errors import ConfigurationError

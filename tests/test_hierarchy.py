@@ -1,7 +1,5 @@
 """Hierarchical monitoring (Fig. 1 topology, Bertier's reference [33])."""
 
-import pytest
-
 from repro.cluster import (
     GlobalMonitor,
     MembershipTable,

@@ -6,7 +6,6 @@ method on a φ detector.
 """
 
 import dataclasses
-import math
 
 import numpy as np
 import pytest

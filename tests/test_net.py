@@ -292,3 +292,39 @@ class TestParetoTailDelay:
 def test_gilbert_elliott_infeasible_pair_rejected():
     with pytest.raises(ConfigurationError):
         GilbertElliottLoss.from_rate_and_burst(rate=0.5, mean_burst=1.0)
+
+
+class TestLossStreamer:
+    def test_no_loss_stream(self):
+        step = NoLoss().streamer(RNG())
+        assert not any(step() for _ in range(100))
+
+    def test_bernoulli_stream_matches_rate(self):
+        step = BernoulliLoss(0.1).streamer(RNG(3))
+        losses = sum(step() for _ in range(50_000))
+        assert losses / 50_000 == pytest.approx(0.1, rel=0.1)
+
+    def test_gilbert_elliott_stream_is_bursty(self):
+        import numpy as np
+
+        ge = GilbertElliottLoss.from_rate_and_burst(rate=0.02, mean_burst=10.0)
+        step = ge.streamer(RNG(17))
+        lost = np.array([step() for _ in range(500_000)], dtype=bool)
+        assert lost.mean() == pytest.approx(0.02, rel=0.25)
+        bursts = loss_bursts(~lost)
+        assert bursts.mean() == pytest.approx(10.0, rel=0.3)
+
+    def test_stream_agrees_with_batch_distribution(self):
+        # Same seed, same model: the streamer's block buffering must
+        # reproduce the batch sampler exactly for memoryless models.
+        import numpy as np
+
+        model = BernoulliLoss(0.25)
+        batch = model.sample(RNG(5), 512)
+        step = model.streamer(RNG(5), block=512)
+        stream = np.array([step() for _ in range(512)], dtype=bool)
+        assert (batch == stream).all()
+
+    def test_block_validation(self):
+        with pytest.raises(ConfigurationError):
+            NoLoss().streamer(RNG(), block=0)

@@ -12,7 +12,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.core import SFD, SlotConfig
-from repro.detectors import BertierFD, ChenFD, FixedTimeoutFD, PhiFD
+from repro.detectors import BertierFD, ChenFD, PhiFD
 from repro.qos.spec import QoSRequirements
 from repro.replay import (
     BertierSpec,

@@ -239,3 +239,164 @@ class TestSFDOverUDP:
         assert status is NodeStatus.ACTIVE
         assert margin >= 0.0
         assert trace_len >= 1  # the feedback loop actually ran live
+
+
+class TestSenderHardening:
+    def test_absolute_deadline_pacing(self, run):
+        """Emitted count tracks elapsed/interval: sleeping a fixed interval
+        *after* each send would lose one period's worth of overhead drift."""
+
+        async def main():
+            listener = UDPHeartbeatListener(lambda *a: None)
+            await listener.start()
+            sender = UDPHeartbeatSender("p", listener.address, interval=0.02)
+            await sender.start()
+            await asyncio.sleep(0.5)
+            await sender.stop()
+            await listener.stop()
+            return sender.sent
+
+        sent = run(main())
+        assert 20 <= sent <= 28  # ideal 25-26; pure drift would trail off
+
+    def test_sender_survives_transport_closed_underneath(self, run):
+        async def main():
+            got = []
+            listener = UDPHeartbeatListener(lambda nid, seq, st, arr: got.append(seq))
+            await listener.start()
+            sender = UDPHeartbeatSender("p", listener.address, interval=0.02)
+            await sender.start()
+            await asyncio.sleep(0.1)
+            # Yank the socket out from under the running sender.
+            sender._protocol.transport.close()
+            await asyncio.sleep(0.3)
+            await sender.stop()
+            await listener.stop()
+            return got, sender.reopens, sender.send_errors
+
+        got, reopens, send_errors = run(main())
+        assert reopens >= 1
+        assert send_errors >= 1
+        assert len(got) >= 8  # heartbeats kept flowing after the reopen
+
+    def test_reopen_backoff_validation(self):
+        with pytest.raises(ConfigurationError):
+            UDPHeartbeatSender("a", ("127.0.0.1", 1), reopen_backoff_max=0.0)
+
+
+class TestListenerHardening:
+    def test_malformed_flood_rate_limited(self, run):
+        async def main():
+            got = []
+            listener = UDPHeartbeatListener(
+                lambda nid, seq, st, arr: got.append(seq), malformed_limit=50
+            )
+            await listener.start()
+            loop = asyncio.get_running_loop()
+            transport, _ = await loop.create_datagram_endpoint(
+                asyncio.DatagramProtocol, remote_addr=listener.address
+            )
+            for burst in range(4):
+                for _ in range(30):
+                    transport.sendto(b"garbage")
+                await asyncio.sleep(0.02)  # yield so the kernel buffer drains
+            transport.sendto(pack_heartbeat("ok", 7, 1.0))
+            await asyncio.sleep(0.2)
+            transport.close()
+            out = (got, listener.malformed, listener.malformed_suppressed)
+            await listener.stop()
+            return out
+
+        got, malformed, suppressed = run(main())
+        assert got == [7]  # valid traffic survives the flood
+        assert malformed == 50  # individually accounted up to the cap
+        assert suppressed == 70  # the tail is only bulk-counted
+
+    def test_consumer_exception_does_not_kill_listener(self, run):
+        async def main():
+            got = []
+
+            def consumer(nid, seq, st, arr):
+                if seq == 0:
+                    raise RuntimeError("faulty consumer")
+                got.append(seq)
+
+            listener = UDPHeartbeatListener(consumer)
+            await listener.start()
+            loop = asyncio.get_running_loop()
+            transport, _ = await loop.create_datagram_endpoint(
+                asyncio.DatagramProtocol, remote_addr=listener.address
+            )
+            transport.sendto(pack_heartbeat("p", 0, 0.0))
+            transport.sendto(pack_heartbeat("p", 1, 0.0))
+            await asyncio.sleep(0.1)
+            transport.close()
+            out = (got, listener.callback_errors)
+            await listener.stop()
+            return out
+
+        got, errors = run(main())
+        assert got == [1]
+        assert errors == 1
+
+    def test_malformed_limit_validation(self):
+        with pytest.raises(ConfigurationError):
+            UDPHeartbeatListener(lambda *a: None, malformed_limit=0)
+
+
+class TestServiceHardening:
+    def test_faulty_binding_does_not_kill_poller(self, run):
+        async def main():
+            fired = []
+
+            def bad_callback(name, level):
+                raise RuntimeError("user bug")
+
+            async with FailureDetectionService(
+                lambda nid: PhiFD(2.0, window_size=16), poll_interval=0.02
+            ) as svc:
+                svc.bind("n1", ActionBinding("bad", 0.5, on_suspect=bad_callback))
+                svc.bind(
+                    "n2",
+                    ActionBinding(
+                        "good", 0.5, on_suspect=lambda n, lvl: fired.append(n)
+                    ),
+                )
+                s1 = UDPHeartbeatSender("n1", svc.address, interval=0.01)
+                s2 = UDPHeartbeatSender("n2", svc.address, interval=0.01)
+                await s1.start()
+                await s2.start()
+                await asyncio.sleep(0.4)
+                await s1.stop()  # n1's binding will throw when it suspects
+                await s2.stop()
+                await asyncio.sleep(0.5)
+                errors = svc.binding_errors
+                last = svc.last_binding_error
+                poller_alive = not svc._poller.done()
+            return fired, errors, last, poller_alive
+
+        fired, errors, last, poller_alive = run(main())
+        assert errors >= 1
+        assert last[0] == "n1" and "user bug" in last[1]
+        assert poller_alive  # the poll loop survived the faulty callback
+        assert "good" in fired  # and other bindings kept being served
+
+    def test_restart_surfaces_in_peer_status(self, run):
+        async def main():
+            async with FailureDetectionService(
+                lambda nid: PhiFD(2.0, window_size=8), poll_interval=0.02
+            ) as svc:
+                s1 = UDPHeartbeatSender("n1", svc.address, interval=0.01)
+                await s1.start()
+                await asyncio.sleep(0.3)
+                await s1.stop()
+                s2 = UDPHeartbeatSender("n1", svc.address, interval=0.01)
+                await s2.start()  # fresh incarnation: sequence resets to 0
+                await asyncio.sleep(0.3)
+                status = svc.peer_status("n1")
+                await s2.stop()
+            return status
+
+        status = run(main())
+        assert status.restarts == 1
+        assert status.status is NodeStatus.ACTIVE

@@ -1,7 +1,5 @@
 """Streaming SFD: Eqs. 11-13, Algorithm 1, accrual output, self-accounting."""
 
-import math
-
 import numpy as np
 import pytest
 

@@ -1,0 +1,214 @@
+"""Self-healing runtime supervision: restart-on-crash, backoff, give-up."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import Supervisor
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSupervisor:
+    def test_restarts_crashing_task(self):
+        async def main():
+            attempts = []
+
+            async def flaky():
+                attempts.append(1)
+                if len(attempts) <= 3:
+                    raise RuntimeError(f"boom {len(attempts)}")
+                await asyncio.sleep(60)
+
+            async with Supervisor(backoff_base=0.01, backoff_max=0.05) as sup:
+                sup.supervise("flaky", flaky)
+                await asyncio.sleep(0.5)
+                stats = sup.stats("flaky")
+                return stats.starts, stats.crashes, stats.last_error, sup.alive("flaky")
+
+        starts, crashes, last_error, alive = run(main())
+        assert starts == 4  # three crashes, then the healthy run
+        assert crashes == 3
+        assert "boom 3" in last_error
+        assert alive
+
+    def test_clean_return_is_not_restarted(self):
+        async def main():
+            runs = []
+
+            async def once():
+                runs.append(1)
+
+            async with Supervisor(backoff_base=0.01) as sup:
+                task = sup.supervise("once", once)
+                await task
+                await asyncio.sleep(0.05)
+                return len(runs), sup.stats("once").crashes
+
+        runs, crashes = run(main())
+        assert runs == 1 and crashes == 0
+
+    def test_max_restarts_gives_up(self):
+        async def main():
+            async def always_fails():
+                raise RuntimeError("hopeless")
+
+            async with Supervisor(backoff_base=0.005, max_restarts=2) as sup:
+                task = sup.supervise("doomed", always_fails)
+                await task
+                stats = sup.stats("doomed")
+                return stats.crashes, stats.gave_up
+
+        crashes, gave_up = run(main())
+        assert crashes == 3  # initial run + 2 permitted restarts
+        assert gave_up
+
+    def test_backoff_grows_between_crashes(self):
+        async def main():
+            backoffs = []
+
+            async def always_fails():
+                raise RuntimeError("x")
+
+            sup = Supervisor(
+                backoff_base=0.01, backoff_factor=2.0, backoff_max=1.0,
+                jitter=0.0, max_restarts=3,
+            )
+            orig_sleep = asyncio.sleep
+
+            task = sup.supervise("doomed", always_fails)
+            while not task.done():
+                await orig_sleep(0.01)
+                st = sup.stats("doomed")
+                if st.last_backoff and (not backoffs or st.last_backoff != backoffs[-1]):
+                    backoffs.append(st.last_backoff)
+            return backoffs
+
+        backoffs = run(main())
+        assert backoffs == sorted(backoffs)
+        assert backoffs[0] == pytest.approx(0.01)
+        assert backoffs[-1] == pytest.approx(0.04)
+
+    def test_jitter_is_seed_deterministic(self):
+        async def main(seed):
+            async def always_fails():
+                raise RuntimeError("x")
+
+            sup = Supervisor(backoff_base=0.005, max_restarts=3, seed=seed)
+            backoffs = []
+            task = sup.supervise("doomed", always_fails)
+
+            def snap():
+                b = sup.stats("doomed").last_backoff
+                if b and (not backoffs or b != backoffs[-1]):
+                    backoffs.append(b)
+
+            while not task.done():
+                snap()
+                await asyncio.sleep(0.002)
+            snap()
+            return backoffs
+
+        assert run(main(7)) == run(main(7))
+
+    def test_stop_cancels_tasks(self):
+        async def main():
+            async def forever():
+                await asyncio.sleep(3600)
+
+            sup = Supervisor()
+            sup.supervise("sleeper", forever)
+            assert sup.alive("sleeper")
+            await sup.stop()
+            return sup.alive("sleeper")
+
+        assert run(main()) is False
+
+    def test_duplicate_name_rejected(self):
+        async def main():
+            async def forever():
+                await asyncio.sleep(3600)
+
+            async with Supervisor() as sup:
+                sup.supervise("x", forever)
+                with pytest.raises(ConfigurationError):
+                    sup.supervise("x", forever)
+
+        run(main())
+
+    def test_unknown_stats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Supervisor().stats("ghost")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backoff_base": 0.0},
+            {"backoff_factor": 0.5},
+            {"backoff_base": 1.0, "backoff_max": 0.5},
+            {"jitter": -0.1},
+            {"max_restarts": -1},
+        ],
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Supervisor(**kwargs)
+
+    def test_factory_rebuilds_state_each_attempt(self):
+        async def main():
+            seen = []
+
+            def factory():
+                # A *factory* is taken, not a coroutine: each restart gets
+                # a fresh coroutine object (awaiting one twice is an error).
+                async def attempt():
+                    seen.append(object())
+                    if len(seen) < 3:
+                        raise RuntimeError("again")
+
+                return attempt()
+
+            async with Supervisor(backoff_base=0.005) as sup:
+                task = sup.supervise("fresh", factory)
+                await task
+                return len(seen), len(set(map(id, seen)))
+
+        count, distinct = run(main())
+        assert count == 3 and distinct >= 1
+
+    def test_supervised_service_poll_loop(self):
+        """The documented integration: a service poll loop that dies is
+        resurrected by the supervisor."""
+
+        async def main():
+            crashes = {"n": 0}
+
+            async def poll_loop():
+                while True:
+                    await asyncio.sleep(0.01)
+                    if crashes["n"] < 2:
+                        crashes["n"] += 1
+                        raise RuntimeError("poll bug")
+
+            async with Supervisor(backoff_base=0.01) as sup:
+                sup.supervise("poller", poll_loop)
+                await asyncio.sleep(0.3)
+                return sup.stats("poller").crashes, sup.alive("poller")
+
+        crashes, alive = run(main())
+        assert crashes == 2 and alive
+
+    def test_restarts_property(self):
+        async def main():
+            async def flaky():
+                raise RuntimeError("x")
+
+            async with Supervisor(backoff_base=0.005, max_restarts=1) as sup:
+                task = sup.supervise("f", flaky)
+                await task
+                return sup.stats("f").restarts
+
+        assert run(main()) == 1
