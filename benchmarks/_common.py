@@ -13,10 +13,13 @@ runs.
 from __future__ import annotations
 
 import dataclasses
+import json
+import math
 from pathlib import Path
 
 from repro.analysis.experiments import ExperimentSetup, default_setup
 from repro.core import SlotConfig
+from repro.qos.spec import QoSReport
 from repro.traces.wan import WANProfile
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -34,9 +37,54 @@ def figure_setup(profile: WANProfile) -> ExperimentSetup:
     )
 
 
-def emit(name: str, text: str) -> None:
-    """Print a rendered table/series and archive it for EXPERIMENTS.md."""
+def _jsonable(value):
+    """Coerce benchmark payloads to strict JSON (NaN/Inf become None)."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if hasattr(value, "item"):  # numpy scalars
+        return _jsonable(value.item())
+    return value
+
+
+def qos_dict(q: QoSReport) -> dict:
+    """The key QoS numbers of one report, JSON-ready."""
+    return {
+        "detection_time_s": q.detection_time,
+        "mistake_rate_per_s": q.mistake_rate,
+        "query_accuracy": q.query_accuracy,
+        "samples": q.samples,
+    }
+
+
+def bench_stats(benchmark) -> dict:
+    """Wall-time stats of one pytest-benchmark fixture, JSON-ready."""
+    st = benchmark.stats
+    return {
+        "mean_s": st["mean"],
+        "min_s": st["min"],
+        "max_s": st["max"],
+        "stddev_s": st["stddev"],
+        "rounds": st["rounds"],
+    }
+
+
+def emit(name: str, text: str, data: dict | None = None) -> None:
+    """Print a rendered table/series and archive it for EXPERIMENTS.md.
+
+    When ``data`` is given, a machine-readable companion is written to
+    ``results/BENCH_<name>.json`` so downstream tooling (dashboards,
+    regression trackers) never has to re-parse the human tables.
+    """
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        payload = {"bench": name, **_jsonable(data)}
+        (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )

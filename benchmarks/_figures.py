@@ -28,6 +28,27 @@ def render_figure(name: str, title: str, result: FigureResult) -> str:
     return format_figure(result.curves, title=title)
 
 
+def figure_data(result: FigureResult) -> dict:
+    """The figure's series as a JSON-ready dict (for ``BENCH_*.json``)."""
+    return {
+        "case": result.setup.profile.name,
+        "heartbeats": result.setup.heartbeats(),
+        "seed": result.setup.seed,
+        "curves": {
+            name: [
+                {
+                    "parameter": p.parameter,
+                    "detection_time_s": p.detection_time,
+                    "mistake_rate_per_s": p.mistake_rate,
+                    "query_accuracy": p.query_accuracy,
+                }
+                for p in curve.points
+            ]
+            for name, curve in result.curves.items()
+        },
+    }
+
+
 def check_figure_claims(result: FigureResult) -> None:
     setup = result.setup
     chen: QoSCurve = result.curves["chen"].finite()

@@ -47,6 +47,14 @@ def test_cluster_scan_scalability(benchmark):
         f"statuses: {counts}\n"
         f"accuracy vs ground truth: {report.accuracy:.3f} "
         f"(missed={sorted(report.missed)}, false={sorted(report.false_suspects)})",
+        data={
+            "nodes": N_NODES,
+            "heartbeats": heartbeats,
+            "wall_s": benchmark.stats["mean"],
+            "us_per_heartbeat": per_hb_us,
+            "statuses": counts,
+            "accuracy": report.accuracy,
+        },
     )
     assert report.accuracy > 0.95
     assert report.missed == set()

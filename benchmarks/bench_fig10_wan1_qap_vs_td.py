@@ -8,7 +8,7 @@ at its endpoints).
 from repro.traces import WAN_1
 
 from _common import emit, figure_setup
-from _figures import render_figure, run_and_check
+from _figures import figure_data, render_figure, run_and_check
 
 
 def test_fig10(benchmark):
@@ -28,4 +28,5 @@ def test_fig10(benchmark):
             "Fig. 10: Query accuracy probability vs detection time (WAN-1)",
             result,
         ),
+        data=figure_data(result),
     )

@@ -9,7 +9,7 @@ asserts the figure's qualitative claims (see ``_figures``).
 from repro.traces import WAN_JAIST
 
 from _common import emit, figure_setup
-from _figures import render_figure, run_and_check
+from _figures import figure_data, render_figure, run_and_check
 
 
 def test_fig6(benchmark):
@@ -23,4 +23,5 @@ def test_fig6(benchmark):
             "Fig. 6: Mistake rate vs detection time (WAN JAIST->EPFL)",
             result,
         ),
+        data=figure_data(result),
     )

@@ -9,7 +9,7 @@ accuracy while φ plateaus earlier.
 from repro.traces import WAN_JAIST
 
 from _common import emit, figure_setup
-from _figures import render_figure, run_and_check
+from _figures import figure_data, render_figure, run_and_check
 
 
 def test_fig7(benchmark):
@@ -30,4 +30,5 @@ def test_fig7(benchmark):
             "Fig. 7: Query accuracy probability vs detection time (WAN JAIST->EPFL)",
             result,
         ),
+        data=figure_data(result),
     )

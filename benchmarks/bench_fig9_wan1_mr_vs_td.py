@@ -11,7 +11,7 @@ SFD curve tops out at 0.87 s).
 from repro.traces import WAN_1
 
 from _common import emit, figure_setup
-from _figures import render_figure, run_and_check
+from _figures import figure_data, render_figure, run_and_check
 
 
 def test_fig9(benchmark):
@@ -27,4 +27,5 @@ def test_fig9(benchmark):
         render_figure(
             "fig9", "Fig. 9: Mistake rate vs detection time (WAN-1)", result
         ),
+        data=figure_data(result),
     )

@@ -97,4 +97,25 @@ def test_selftuning_convergence(benchmark):
             f"status={cons.status.value})",
         )
     )
-    emit("selftuning_convergence", text)
+    emit(
+        "selftuning_convergence",
+        text,
+        data={
+            label: {
+                "final_margin_s": res.final_margin,
+                "status": res.status.value,
+                "slots": len(res.tuning),
+                "trajectory": [
+                    {
+                        "slot": r.slot,
+                        "sm_before_s": r.sm_before,
+                        "sm_after_s": r.sm_after,
+                        "decision": r.decision.name,
+                    }
+                    for r in res.tuning
+                    if r.sm_after != r.sm_before
+                ],
+            }
+            for label, res in (("aggressive", agg), ("conservative", cons))
+        },
+    )

@@ -14,6 +14,7 @@ def test_table1(benchmark):
     emit(
         "table1",
         format_table(rows, title="Table I: summary of the WAN experiments"),
+        data={"rows": rows},
     )
     assert len(rows) == 6
     assert {r["WAN case"] for r in rows} == {f"WAN-{i}" for i in range(1, 7)}

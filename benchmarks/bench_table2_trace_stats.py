@@ -43,6 +43,7 @@ def test_table2(benchmark):
         format_table(rows, title="Table II (regenerated, scaled traces)")
         + "\n\n"
         + format_table(paper_rows(), title="Table II (published values)"),
+        data={"regenerated": rows, "published": paper_rows()},
     )
     by_case = {r["case"]: r for r in rows}
     for trace, prof in zip(traces, ALL_PROFILES):

@@ -14,7 +14,7 @@ import pytest
 from repro.traces import WAN_2, WAN_3, WAN_4, WAN_5, WAN_6
 
 from _common import emit, figure_setup
-from _figures import render_figure, run_and_check
+from _figures import figure_data, render_figure, run_and_check
 
 
 @pytest.mark.parametrize("profile", [WAN_2, WAN_3, WAN_4, WAN_5, WAN_6])
@@ -28,4 +28,5 @@ def test_wan_case(benchmark, profile):
             f"{profile.name}: MR/QAP vs detection time (Section V-B)",
             result,
         ),
+        data=figure_data(result),
     )

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Live failure detection over real UDP sockets (localhost).
+"""Live failure detection over real UDP sockets (localhost), instrumented.
 
 Runs the asyncio runtime end to end: a FailureDetectionService listens on
 an ephemeral UDP port; three heartbeat senders (the paper's process ``p``,
@@ -8,6 +8,11 @@ stamped datagrams at it.  One sender is then crash-stopped; the service's
 accrual bindings page at two confidence levels (Section I's staged
 reactions) and the status table shows the crash being detected.
 
+The whole stack reports into the observability spine: a Prometheus
+text-format endpoint is served over HTTP, scraped back, and rendered as a
+``repro top`` dashboard frame — the same view ``python -m repro top
+<url>`` gives against any running monitor.
+
 Run:  python examples/live_udp_monitor.py      (finishes in ~4 s)
 """
 
@@ -15,6 +20,7 @@ import asyncio
 
 from repro.core import ActionBinding
 from repro.detectors import PhiFD
+from repro.obs import Instruments, MetricsServer, http_get, parse_prometheus, render_top
 from repro.runtime import FailureDetectionService, UDPHeartbeatSender
 
 
@@ -24,19 +30,27 @@ async def main() -> None:
     def page(name: str, level: float) -> None:
         events.append(f"  [{name}] suspicion level {level:.1f}")
 
+    instruments = Instruments(trace_heartbeats=True)
     async with FailureDetectionService(
         detector_factory=lambda nid: PhiFD(2.0, window_size=32),
         poll_interval=0.02,
+        instruments=instruments,
     ) as service:
         host, port = service.address
         print(f"failure detection service listening on {host}:{port}")
+
+        metrics = MetricsServer(instruments.registry, events=instruments.events)
+        await metrics.start()
+        print(f"metrics endpoint up at {metrics.url}")
 
         # Staged reactions: precautionary at low confidence, drastic at high.
         service.bind("web-01", ActionBinding("precaution", 2.0, on_suspect=page))
         service.bind("web-01", ActionBinding("failover", 8.0, on_suspect=page))
 
         senders = [
-            UDPHeartbeatSender(f"web-{i:02d}", (host, port), interval=0.02)
+            UDPHeartbeatSender(
+                f"web-{i:02d}", (host, port), interval=0.02, instruments=instruments
+            )
             for i in range(1, 4)
         ]
         for s in senders:
@@ -64,8 +78,24 @@ async def main() -> None:
         for line in events:
             print(line)
 
+        # Scrape our own endpoint — exactly what Prometheus (or
+        # ``python -m repro top <url>``) would do from outside.
+        status, body = await http_get(metrics.url)
+        assert status == 200
+        scraped = parse_prometheus(body)
+        print(f"\nscraped {len(scraped.samples)} metric families; dashboard:\n")
+        print(render_top(scraped, title=f"repro top ({metrics.url})"))
+
+        hb = scraped.value("repro_heartbeats_received_total", node="web-02")
+        assert hb and hb > 0, "scrape must carry per-node heartbeat counters"
+
+        print("\nlast 3 traced events:")
+        for ev in instruments.events.recent(3):
+            print(f"  {ev['kind']}: {ev}")
+
         for s in senders[1:]:
             await s.stop()
+        await metrics.stop()
 
     assert any("precaution" in e for e in events)
     assert any("failover" in e for e in events)

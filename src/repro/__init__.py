@@ -25,6 +25,7 @@ Quickstart::
 from repro.errors import (
     ReproError,
     ConfigurationError,
+    UnknownNodeError,
     NotWarmedUpError,
     InfeasibleQoSError,
     TraceFormatError,
@@ -95,6 +96,7 @@ __all__ = [
     # errors
     "ReproError",
     "ConfigurationError",
+    "UnknownNodeError",
     "NotWarmedUpError",
     "InfeasibleQoSError",
     "TraceFormatError",

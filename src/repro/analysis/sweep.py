@@ -45,6 +45,7 @@ def chen_curve(
     *,
     window: int = 1000,
     nominal_interval: float | None = None,
+    instruments=None,
 ) -> QoSCurve:
     """Chen FD swept over its constant safety margin ``α`` (Eq. 3)."""
     curve = QoSCurve("chen")
@@ -52,6 +53,7 @@ def chen_curve(
         res = replay(
             ChenSpec(alpha=alpha, window=window, nominal_interval=nominal_interval),
             view,
+            instruments=instruments,
         )
         curve.add(alpha, res.qos)
     return curve
@@ -62,6 +64,7 @@ def phi_curve(
     thresholds: Sequence[float],
     *,
     window: int = 1000,
+    instruments=None,
 ) -> QoSCurve:
     """φ FD swept over its threshold ``Φ`` (paper range ``[0.5, 16]``).
 
@@ -71,7 +74,8 @@ def phi_curve(
     """
     curve = QoSCurve("phi")
     for th in thresholds:
-        res = replay(PhiSpec(threshold=th, window=window), view)
+        res = replay(PhiSpec(threshold=th, window=window), view,
+                     instruments=instruments)
         curve.add(th, res.qos)
     return curve
 
@@ -81,11 +85,14 @@ def bertier_point(
     *,
     window: int = 1000,
     nominal_interval: float | None = None,
+    instruments=None,
 ) -> QoSCurve:
     """Bertier FD — a single point ("it has no dynamic parameters")."""
     curve = QoSCurve("bertier")
     res = replay(
-        BertierSpec(window=window, nominal_interval=nominal_interval), view
+        BertierSpec(window=window, nominal_interval=nominal_interval),
+        view,
+        instruments=instruments,
     )
     curve.add(0.0, res.qos)
     return curve
@@ -94,11 +101,13 @@ def bertier_point(
 def fixed_curve(
     view: MonitorView,
     timeouts: Sequence[float],
+    *,
+    instruments=None,
 ) -> QoSCurve:
     """Fixed-timeout baseline swept over its static interval."""
     curve = QoSCurve("fixed")
     for to in timeouts:
-        res = replay(FixedSpec(timeout=to), view)
+        res = replay(FixedSpec(timeout=to), view, instruments=instruments)
         curve.add(to, res.qos)
     return curve
 
@@ -108,6 +117,7 @@ def quantile_curve(
     quantiles: Sequence[float],
     *,
     window: int = 1000,
+    instruments=None,
 ) -> QoSCurve:
     """Quantile-timeout FD swept over ``q`` (the [34-35] family).
 
@@ -115,7 +125,8 @@ def quantile_curve(
     — sweeping ``q -> 1`` cannot go past it, unlike Chen's margin."""
     curve = QoSCurve("quantile")
     for q in quantiles:
-        res = replay(QuantileSpec(quantile=q, window=window), view)
+        res = replay(QuantileSpec(quantile=q, window=window), view,
+                     instruments=instruments)
         curve.add(q, res.qos)
     return curve
 
@@ -132,6 +143,7 @@ def sfd_curve(
     nominal_interval: float | None = None,
     policy: InfeasiblePolicy = InfeasiblePolicy.STOP,
     sm_max: float = math.inf,
+    instruments=None,
 ) -> QoSCurve:
     """SFD swept over the initial margin ``SM₁`` (Section V: "a list about
     the initial safety margin SM₁ is given … SM₁ gradually increases").
@@ -158,6 +170,7 @@ def sfd_curve(
                 sm_bounds=(0.0, sm_max),
             ),
             view,
+            instruments=instruments,
         )
         curve.add(sm1, res.qos)
     return curve

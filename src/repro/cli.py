@@ -10,6 +10,8 @@ Everything the benchmark suite does is also reachable without pytest::
     python -m repro synth --case WAN-3 -o wan3.npz [-n 100000]
     python -m repro scan [--nodes 120] [--horizon 60]
     python -m repro chaos [--duration 12] [--crash-at 6 --restart-at 8]
+    python -m repro metrics http://127.0.0.1:9464/metrics [--json]
+    python -m repro top --demo [--interval 1] [--iterations 5]
 
 Each subcommand prints the same rows/series the corresponding benchmark
 archives under ``benchmarks/results/``.
@@ -269,6 +271,96 @@ def cmd_chaos(args: argparse.Namespace) -> None:
     asyncio.run(drill())
 
 
+def _metrics_url(raw: str) -> str:
+    """Normalize a scrape target: allow ``host:port`` and bare URLs."""
+    url = raw if "://" in raw else f"http://{raw}"
+    scheme, _, rest = url.partition("://")
+    if "/" not in rest:
+        url = f"{scheme}://{rest}/metrics"
+    return url
+
+
+def cmd_metrics(args: argparse.Namespace) -> None:
+    import asyncio
+    import json
+
+    from repro.obs import http_get, parse_prometheus
+
+    url = _metrics_url(args.url)
+    status, body = asyncio.run(http_get(url, timeout=args.timeout))
+    if status != 200:
+        raise SystemExit(f"scrape of {url} failed: HTTP {status}: {body.strip()}")
+    if args.json:
+        print(json.dumps(parse_prometheus(body).to_dict(), indent=2, sort_keys=True))
+    else:
+        print(body, end="")
+
+
+def cmd_top(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.obs import http_get, parse_prometheus, render_top
+
+    if args.demo == (args.url is not None):
+        raise SystemExit("give a scrape URL or --demo, not both (or neither)")
+
+    async def frames(url: str, title: str) -> None:
+        shown = 0
+        while args.iterations is None or shown < args.iterations:
+            if shown and args.interval > 0:
+                await asyncio.sleep(args.interval)
+            status, body = await http_get(url, timeout=args.timeout)
+            if status != 200:
+                raise SystemExit(f"scrape of {url} failed: HTTP {status}")
+            frame = render_top(parse_prometheus(body), title=title)
+            if not args.no_clear and shown:
+                # Home + clear-to-end keeps already-drawn lines steady
+                # instead of flashing a full-screen erase every frame.
+                print("\x1b[H\x1b[J", end="")
+            print(frame)
+            print(flush=True)
+            shown += 1
+
+    async def run_demo() -> None:
+        from repro.core.sfd import SFD, SlotConfig
+        from repro.obs import Instruments, MetricsServer
+        from repro.qos.spec import QoSRequirements
+        from repro.runtime import LiveMonitor, UDPHeartbeatSender
+
+        req = QoSRequirements(
+            max_detection_time=1.0, max_mistake_rate=0.5, min_query_accuracy=0.9
+        )
+        ins = Instruments()
+        monitor = LiveMonitor(
+            lambda nid: SFD(req, window_size=16, slot=SlotConfig(heartbeats=20)),
+            instruments=ins,
+        )
+        await monitor.start()
+        senders = [
+            UDPHeartbeatSender(
+                f"demo-{i}", monitor.address, interval=0.05, instruments=ins
+            )
+            for i in range(args.nodes)
+        ]
+        for sender in senders:
+            await sender.start()
+        server = MetricsServer(ins.registry, events=ins.events)
+        await server.start()
+        print(f"demo stack up — scrape {server.url} from another terminal")
+        try:
+            await frames(server.url, title=f"repro top (demo @ {server.url})")
+        finally:
+            for sender in senders:
+                await sender.stop()
+            await monitor.stop()
+            await server.stop()
+
+    if args.demo:
+        asyncio.run(run_demo())
+    else:
+        asyncio.run(frames(_metrics_url(args.url), title=f"repro top ({args.url})"))
+
+
 def cmd_scan(args: argparse.Namespace) -> None:
     import math
 
@@ -371,6 +463,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--crash-at", type=float, default=6.0)
     p.add_argument("--restart-at", type=float, default=8.0)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser("metrics", help="scrape a repro Prometheus endpoint")
+    p.add_argument("url", help="endpoint URL (host:port implies /metrics)")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the parsed samples as JSON instead of raw text format",
+    )
+    p.add_argument("--timeout", type=float, default=5.0)
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "top", help="live per-node dashboard over a scraped metrics endpoint"
+    )
+    p.add_argument("url", nargs="?", default=None, help="endpoint URL to scrape")
+    p.add_argument(
+        "--demo",
+        action="store_true",
+        help="spin up a self-contained instrumented monitor + senders to watch",
+    )
+    p.add_argument("--nodes", type=int, default=3, help="demo sender count")
+    p.add_argument("--interval", type=float, default=1.0, help="refresh period [s]")
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="frames to render before exiting (default: forever)",
+    )
+    p.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of redrawing in place",
+    )
+    p.add_argument("--timeout", type=float, default=5.0)
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("scan", help="PlanetLab-style cluster status scan (DES)")
     p.add_argument("--seed", type=int, default=2012)

@@ -16,7 +16,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import ConfigurationError, NotWarmedUpError
+from repro.errors import ConfigurationError, NotWarmedUpError, UnknownNodeError
 from repro.detectors.base import FailureDetector
 from repro.qos.metrics import MistakeAccumulator
 from repro.qos.spec import QoSReport
@@ -50,6 +50,10 @@ class NodeState:
     last_arrival: float = math.nan
     stale_dropped: int = 0
     restarts: int = 0
+    #: Last status reported through the table's classification paths —
+    #: the memory that lets the table emit TRUSTED↔SUSPECTED transition
+    #: edges to an observer instead of only point-in-time snapshots.
+    last_status: NodeStatus = NodeStatus.UNKNOWN
     #: Live QoS accounting (wrong suspicions + TD samples), started when
     #: the detector warms up; ``None`` when the table was built with
     #: ``account_qos=False``.
@@ -108,6 +112,19 @@ class MembershipTable:
         it mean the sender restarted with a fresh counter, so its detector
         is reset instead (a crashed-and-restarted node must be re-adopted,
         not ignored forever).
+    on_transition:
+        Optional observer ``(node_id, old, new, now)`` fired whenever a
+        node's classified status changes — on heartbeat arrival (recovery
+        edges) and on every status query path (suspicion edges).  When
+        set, each accepted heartbeat also classifies the node, so
+        SUSPECT→ACTIVE recovery is seen at arrival time rather than at
+        the next query.
+    on_restart:
+        Optional observer ``(node_id, restarts)`` fired when a sequence
+        regression past the reorder window re-adopts a node.
+    on_stale:
+        Optional observer ``(node_id, seq, newest)`` fired when a
+        reordered/stale heartbeat is dropped.
     """
 
     def __init__(
@@ -117,6 +134,10 @@ class MembershipTable:
         auto_register: bool = True,
         account_qos: bool = False,
         reorder_window: int = 8,
+        on_transition: Callable[[str, NodeStatus, NodeStatus, float], None]
+        | None = None,
+        on_restart: Callable[[str, int], None] | None = None,
+        on_stale: Callable[[str, int, int], None] | None = None,
     ):
         if reorder_window < 0:
             raise ConfigurationError(
@@ -126,6 +147,9 @@ class MembershipTable:
         self._auto = auto_register
         self._account = account_qos
         self._reorder_window = int(reorder_window)
+        self._on_transition = on_transition
+        self._on_restart = on_restart
+        self._on_stale = on_stale
         self._nodes: dict[str, NodeState] = {}
 
     def __len__(self) -> int:
@@ -156,11 +180,13 @@ class MembershipTable:
         state = self._nodes.get(node_id)
         if state is None:
             if not self._auto:
-                raise ConfigurationError(f"unknown node {node_id!r}")
+                raise UnknownNodeError(node_id)
             state = self.register(node_id)
         if seq <= state.last_seq:
             if state.last_seq - seq <= self._reorder_window:
                 state.stale_dropped += 1
+                if self._on_stale is not None:
+                    self._on_stale(node_id, seq, state.last_seq)
                 return state
             self._mark_restarted(state)
         det = state.detector
@@ -189,6 +215,10 @@ class MembershipTable:
             origin = send_time if send_time is not None else arrival
             assert state.accounting is not None
             state.accounting.add_detection_sample(fp - origin)
+        if self._on_transition is not None:
+            # Classify at arrival so recovery edges (SUSPECT -> ACTIVE)
+            # surface immediately; only priced when someone listens.
+            self._classify(state, arrival)
         return state
 
     def _mark_restarted(self, state: NodeState) -> None:
@@ -204,6 +234,8 @@ class MembershipTable:
         state.last_seq = -1
         state.last_arrival = math.nan
         state.accounting = None
+        if self._on_restart is not None:
+            self._on_restart(state.node_id, state.restarts)
 
     @property
     def restarts(self) -> int:
@@ -213,27 +245,48 @@ class MembershipTable:
     def node(self, node_id: str) -> NodeState:
         state = self._nodes.get(node_id)
         if state is None:
-            raise ConfigurationError(f"unknown node {node_id!r}")
+            raise UnknownNodeError(node_id)
         return state
 
     def nodes(self) -> tuple[NodeState, ...]:
         return tuple(self._nodes.values())
 
+    def _classify(self, state: NodeState, now: float) -> NodeStatus:
+        """Compute a node's status, surfacing the edge to the observer."""
+        status = state.status(now)
+        if status is not state.last_status:
+            if self._on_transition is not None:
+                self._on_transition(state.node_id, state.last_status, status, now)
+            state.last_status = status
+        return status
+
+    def status_of(self, node_id: str, now: float) -> NodeStatus:
+        """One node's status at ``now`` (:class:`NodeStatus.UNKNOWN` for
+        ids never seen — query paths never raise, matching the open
+        auto-registering monitor's semantics)."""
+        state = self._nodes.get(node_id)
+        if state is None:
+            return NodeStatus.UNKNOWN
+        return self._classify(state, now)
+
     def statuses(self, now: float) -> dict[str, NodeStatus]:
         """Snapshot every node's status at ``now``."""
-        return {nid: st.status(now) for nid, st in self._nodes.items()}
+        return {nid: self._classify(st, now) for nid, st in self._nodes.items()}
 
     def summary(self, now: float) -> dict[NodeStatus, int]:
         """Counts per status — the "guidance" the intro asks for."""
         out = {status: 0 for status in NodeStatus}
         for st in self._nodes.values():
-            out[st.status(now)] += 1
+            out[self._classify(st, now)] += 1
         return out
 
     def select(self, now: float, status: NodeStatus) -> list[str]:
         """Node ids currently in ``status`` (e.g. the ACTIVE servers a
         cloud user should be routed to)."""
-        return [nid for nid, st in self._nodes.items() if st.status(now) is status]
+        return [
+            nid for nid, st in self._nodes.items()
+            if self._classify(st, now) is status
+        ]
 
     def expire(self, now: float, *, silent_for: float) -> list[str]:
         """Evict nodes whose last heartbeat is older than ``silent_for``.

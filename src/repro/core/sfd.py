@@ -36,6 +36,7 @@ form used by the φ window).
 from __future__ import annotations
 
 import math
+from typing import Callable
 
 from repro.errors import ConfigurationError, NotWarmedUpError
 from repro.detectors.base import TimeoutFailureDetector
@@ -127,6 +128,12 @@ class SFD(TimeoutFailureDetector):
         self._hb_in_slot = 0
         self._slot_index = 0
         self._trace: list[TuningRecord] = []
+        #: Optional observer called with each appended
+        #: :class:`TuningRecord` at the end of every non-skipped tuning
+        #: slot — the hook the observability layer uses to export SM(k)
+        #: trajectories and Sat_k decisions without coupling the core to
+        #: any metrics machinery.
+        self.on_slot: Callable[[TuningRecord], None] | None = None
 
     # ------------------------------------------------------------------ #
     # observation & self-accounting
@@ -175,16 +182,17 @@ class SFD(TimeoutFailureDetector):
             return  # skipped: degenerate window or awaiting min_slots
         lo, hi = self.sm_bounds
         self._sm = min(max(self._sm + delta, lo), hi)
-        self._trace.append(
-            TuningRecord(
-                slot=self._slot_index,
-                time=now,
-                sm_before=before,
-                sm_after=self._sm,
-                decision=self._driver.controller.last_decision or Satisfaction.STABLE,
-                qos=snapshot,
-            )
+        record = TuningRecord(
+            slot=self._slot_index,
+            time=now,
+            sm_before=before,
+            sm_after=self._sm,
+            decision=self._driver.controller.last_decision or Satisfaction.STABLE,
+            qos=snapshot,
         )
+        self._trace.append(record)
+        if self.on_slot is not None:
+            self.on_slot(record)
 
     # ------------------------------------------------------------------ #
     # accrual output (Section IV-C1)

@@ -9,6 +9,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "UnknownNodeError",
     "NotWarmedUpError",
     "InfeasibleQoSError",
     "TraceFormatError",
@@ -28,6 +29,24 @@ class ConfigurationError(ReproError, ValueError):
     that misconfiguration surfaces where it happens instead of as a NaN in
     an experiment hours later.
     """
+
+
+class UnknownNodeError(ConfigurationError, LookupError):
+    """A node id was queried that the membership layer has never seen.
+
+    Raised by lookups on :class:`~repro.cluster.membership.MembershipTable`
+    and the live-runtime query paths (``LiveMonitor.qos``,
+    ``FailureDetectionService.peer_status``).  Status queries deliberately
+    do *not* raise — an unknown node's status is
+    :attr:`~repro.cluster.membership.NodeStatus.UNKNOWN`, since an open
+    (auto-registering) monitor cannot distinguish "never existed" from
+    "not heard from yet".  Subclasses :class:`ConfigurationError` so
+    pre-existing ``except ConfigurationError`` callers keep working.
+    """
+
+    def __init__(self, node_id: str):
+        super().__init__(f"unknown node {node_id!r}")
+        self.node_id = node_id
 
 
 class NotWarmedUpError(ReproError, RuntimeError):

@@ -1,0 +1,85 @@
+"""Observability spine: metrics, event tracing, and exposure.
+
+The paper's thesis is a failure detector that *measures its own output
+QoS* and reacts (Section IV-B); this package generalizes that stance to
+the whole deployment.  It provides, dependency-free:
+
+* :mod:`repro.obs.registry` — an in-process metrics registry
+  (Counter/Gauge/Histogram with fixed log-spaced buckets, labeled
+  families, snapshot/delta views) built for hot-path cheapness;
+* :mod:`repro.obs.events` — structured JSON event tracing with a
+  ring-buffered recent-events view (per-heartbeat lifecycle context);
+* :mod:`repro.obs.instruments` — the pre-registered instrument bundle the
+  runtime, cluster, SFD core, supervisor, fault injector, and replay
+  engine all report into;
+* :mod:`repro.obs.exposition` — Prometheus text format rendering/parsing
+  plus an asyncio HTTP endpoint and a minimal scrape client;
+* :mod:`repro.obs.console` — the ``repro top`` terminal renderer.
+
+Quickstart::
+
+    from repro.detectors import PhiFD
+    from repro.obs import Instruments, MetricsServer
+    from repro.runtime import LiveMonitor
+
+    ins = Instruments(trace_heartbeats=True)
+    monitor = LiveMonitor(lambda nid: PhiFD(2.0, window_size=64),
+                          instruments=ins)
+    await monitor.start()
+    server = MetricsServer(ins.registry, events=ins.events)
+    await server.start()
+    print(server.url)      # scrape with Prometheus or `repro top <url>`
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramValue,
+    MetricFamily,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    log_buckets,
+    DEFAULT_LATENCY_BUCKETS,
+)
+from repro.obs.events import EventLog
+from repro.obs.instruments import Instruments, STATUS_CODES
+from repro.obs.exposition import (
+    CONTENT_TYPE,
+    MetricsServer,
+    ParsedMetrics,
+    http_get,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.console import STATUS_NAMES, render_top
+
+__all__ = [
+    # registry
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRegistry",
+    "log_buckets",
+    "DEFAULT_LATENCY_BUCKETS",
+    # events
+    "EventLog",
+    # instruments
+    "Instruments",
+    "STATUS_CODES",
+    # exposition
+    "CONTENT_TYPE",
+    "MetricsServer",
+    "ParsedMetrics",
+    "http_get",
+    "parse_prometheus",
+    "render_prometheus",
+    # console
+    "STATUS_NAMES",
+    "render_top",
+]

@@ -1,0 +1,107 @@
+"""`repro top` rendering: a terminal view built from scraped metrics.
+
+The renderer consumes :class:`~repro.obs.exposition.ParsedMetrics` (the
+output of scraping the Prometheus endpoint), *not* live objects — so the
+console works against any process exposing the catalog, exactly like a
+dashboard would, and doubles as an end-to-end check of the exposure layer.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.exposition import ParsedMetrics
+
+__all__ = ["STATUS_NAMES", "render_top"]
+
+#: Inverse of :data:`repro.obs.instruments.STATUS_CODES` (kept as a plain
+#: table so this module depends only on the wire format).
+STATUS_NAMES: dict[int, str] = {
+    0: "unknown",
+    1: "active",
+    2: "slow",
+    3: "suspect",
+    4: "dead",
+}
+
+
+def _fmt(value: float | None, spec: str = ".3f", missing: str = "-") -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return missing
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    return format(value, spec)
+
+
+def _vs_target(measured: float | None, target: float | None, *, lower_is_ok: bool) -> str:
+    """``measured/target`` with a pass/fail marker when both are known."""
+    if measured is None:
+        return "-"
+    if target is None or (isinstance(target, float) and math.isinf(target)):
+        return _fmt(measured)
+    ok = measured <= target if lower_is_ok else measured >= target
+    return f"{_fmt(measured)}/{_fmt(target)}{'' if ok else ' !'}"
+
+
+def render_top(metrics: ParsedMetrics, *, title: str = "repro top") -> str:
+    """One refresh frame: header counters plus a per-node status table."""
+    lines: list[str] = []
+    nodes = metrics.label_values("repro_node_status", "node")
+
+    received = metrics.value("repro_monitor_received_total")
+    malformed = metrics.value("repro_listener_malformed_total", default=0.0)
+    suppressed = metrics.value(
+        "repro_listener_malformed_suppressed_total", default=0.0
+    )
+    by_status = {
+        dict(labelset).get("status", "?"): value
+        for labelset, value in metrics.series("repro_nodes_by_status").items()
+        if value
+    }
+    summary = ", ".join(f"{int(n)} {s}" for s, n in sorted(by_status.items()))
+    lines.append(
+        f"{title} — {len(nodes)} node(s)"
+        + (f" [{summary}]" if summary else "")
+    )
+    lines.append(
+        f"received={_fmt(received, '.0f')} heartbeats"
+        f"  malformed={malformed:.0f} (+{suppressed:.0f} suppressed)"
+    )
+    lines.append("")
+
+    header = (
+        f"{'NODE':<16} {'STATUS':<8} {'SUSP':>8} {'HB':>8} {'RST':>4} "
+        f"{'SM[s]':>8} {'TD/target':>16} {'MR/target':>16} {'QAP/target':>16}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for node in nodes:
+        code = metrics.value("repro_node_status", node=node)
+        status = STATUS_NAMES.get(int(code) if code is not None else 0, "?")
+        susp = metrics.value("repro_node_suspicion", node=node)
+        hb = metrics.value("repro_heartbeats_received_total", node=node)
+        rst = metrics.value("repro_node_restarts_total", node=node, default=0.0)
+        sm = metrics.value("repro_sfd_safety_margin_seconds", node=node)
+        td = _vs_target(
+            metrics.value("repro_sfd_detection_time_seconds", node=node),
+            metrics.value("repro_sfd_target_detection_time_seconds", node=node),
+            lower_is_ok=True,
+        )
+        mr = _vs_target(
+            metrics.value("repro_sfd_mistake_rate", node=node),
+            metrics.value("repro_sfd_target_mistake_rate", node=node),
+            lower_is_ok=True,
+        )
+        qap = _vs_target(
+            metrics.value("repro_sfd_query_accuracy", node=node),
+            metrics.value("repro_sfd_target_query_accuracy", node=node),
+            lower_is_ok=False,
+        )
+        lines.append(
+            f"{node:<16} {status:<8} {_fmt(susp, '.2f'):>8} "
+            f"{_fmt(hb, '.0f'):>8} {int(rst or 0):>4} {_fmt(sm):>8} "
+            f"{td:>16} {mr:>16} {qap:>16}"
+        )
+    if not nodes:
+        lines.append("(no nodes reported yet)")
+    return "\n".join(lines)

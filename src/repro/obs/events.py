@@ -1,0 +1,122 @@
+"""Structured JSON event tracing with a bounded ring buffer.
+
+Metrics aggregate; events explain.  Every notable lifecycle moment in the
+live stack — a heartbeat's send→arrival→freshness-point→verdict journey, a
+TRUSTED↔SUSPECTED transition, an SFD feedback slot, a supervisor restart —
+is emitted as one flat JSON-serializable dict with a ``kind`` and a
+timestamp.  The log is a fixed-capacity ring (``collections.deque``), so a
+misbehaving cluster can never grow the monitor's memory; operators read
+the tail via :meth:`EventLog.recent` or the ``/events`` endpoint of
+:class:`~repro.obs.exposition.MetricsServer`.
+
+Event schema (all kinds)::
+
+    {"ts": <seconds, wall clock>, "kind": "<event kind>", ...fields}
+
+Kinds emitted by the built-in instrumentation (see
+``docs/observability.md`` for the full catalog):
+
+``heartbeat``
+    ``node, seq, send_time, arrival, freshness, verdict, suspicion`` —
+    the per-heartbeat trace context.  Only emitted when the owning
+    :class:`~repro.obs.instruments.Instruments` was built with
+    ``trace_heartbeats=True`` (it prices one suspicion query per
+    heartbeat).
+``transition``
+    ``node, from, to, at`` — membership status edge.
+``restart``
+    ``node, restarts`` — sequence-regression restart adoption.
+``sfd_slot``
+    ``node, slot, sm_before, sm_after, decision, td, mr, qap`` — one
+    feedback step of Eq. (12).
+``task_crash`` / ``task_giveup``
+    supervisor lifecycle.
+``sender_reopen``
+    a heartbeat sender survived a socket fault.
+``replay``
+    ``detector, heartbeats, seconds, rate`` — one replay-engine run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from collections import deque
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["EventLog"]
+
+
+def _strict(event: dict) -> dict:
+    """Shallow copy with non-finite floats replaced by ``None``."""
+    return {
+        k: (None if isinstance(v, float) and not math.isfinite(v) else v)
+        for k, v in event.items()
+    }
+
+
+class EventLog:
+    """Bounded ring buffer of structured events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events; older ones are evicted.  ``0`` disables
+        the log entirely (every :meth:`emit` is a cheap no-op), which is
+        how :meth:`~repro.obs.instruments.Instruments.null` buys its
+        zero-overhead guarantee.
+    clock:
+        Timestamp source for the ``ts`` field.  Wall clock by default —
+        events are for humans and log correlation, unlike detector math,
+        which must stay on the monotonic clock.
+    """
+
+    def __init__(
+        self, capacity: int = 1024, *, clock: Callable[[], float] = time.time
+    ):
+        if capacity < 0:
+            raise ConfigurationError(f"capacity must be >= 0, got {capacity!r}")
+        self.capacity = int(capacity)
+        self.enabled = self.capacity > 0
+        self.emitted = 0
+        self._clock = clock
+        self._buf: deque[dict] = deque(maxlen=self.capacity or 1)
+
+    def emit(self, kind: str, **fields) -> None:
+        """Record one event (dropped silently when disabled)."""
+        if not self.enabled:
+            return
+        event = {"ts": self._clock(), "kind": kind}
+        event.update(fields)
+        self._buf.append(event)
+        self.emitted += 1
+
+    def __len__(self) -> int:
+        return len(self._buf) if self.enabled else 0
+
+    def recent(self, n: int | None = None, *, kind: str | None = None) -> list[dict]:
+        """The most recent ``n`` events (all retained if ``None``),
+        oldest first, optionally filtered by ``kind``."""
+        events: list[dict] = list(self._buf) if self.enabled else []
+        if kind is not None:
+            events = [e for e in events if e.get("kind") == kind]
+        if n is not None:
+            events = events[-n:]
+        return events
+
+    def to_json_lines(self, n: int | None = None, *, kind: str | None = None) -> str:
+        """Newline-delimited JSON of :meth:`recent` (``ndjson``).
+
+        Non-finite floats become ``null`` — the stream must stay valid
+        *strict* JSON (Python's default ``NaN`` literal is not).
+        """
+        return "\n".join(
+            json.dumps(_strict(e), separators=(",", ":"), default=str)
+            for e in self.recent(n, kind=kind)
+        )
+
+    def clear(self) -> None:
+        self._buf.clear()

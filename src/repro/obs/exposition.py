@@ -1,0 +1,343 @@
+"""Prometheus text-format exposure: renderer, parser, HTTP endpoint.
+
+The registry stays wire-agnostic; this module turns it into the standard
+Prometheus text format (version 0.0.4) and serves it from a tiny
+asyncio HTTP endpoint — no third-party dependencies, matching the rest of
+the runtime.  A matching :func:`parse_prometheus` reads the format back,
+which is what the ``repro top`` console and the round-trip tests use.
+
+Routes served by :class:`MetricsServer`:
+
+``GET /metrics``
+    Prometheus text format of the bound registry (collectors run first).
+``GET /events``
+    Newline-delimited JSON tail of the bound event log (404 if none).
+``GET /healthz``
+    ``ok`` — liveness for the monitor itself (who watches the watcher).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import re
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+from repro.errors import ConfigurationError
+from repro.obs.events import EventLog
+from repro.obs.registry import HistogramValue, MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE",
+    "render_prometheus",
+    "parse_prometheus",
+    "ParsedMetrics",
+    "MetricsServer",
+    "http_get",
+]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _fmt(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labelstr(names: tuple[str, ...], values: tuple[str, ...], extra: str = "") -> str:
+    pairs = [f'{n}="{_escape(v)}"' for n, v in zip(names, values)]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family of ``registry`` (collectors run first)."""
+    registry.collect()
+    out: list[str] = []
+    for fam in registry.families():
+        if not fam.children():
+            continue
+        if fam.help:
+            out.append(f"# HELP {fam.name} {_escape(fam.help)}")
+        out.append(f"# TYPE {fam.name} {fam.kind}")
+        for key in sorted(fam.children()):
+            child = fam.children()[key]
+            if fam.kind == "histogram":
+                hv: HistogramValue = child.get()
+                total = 0
+                for bound, count in zip(hv.bounds, hv.counts):
+                    total += count
+                    le = 'le="' + _fmt(bound) + '"'
+                    out.append(
+                        f"{fam.name}_bucket"
+                        f"{_labelstr(fam.label_names, key, le)} {total}"
+                    )
+                inf = 'le="+Inf"'
+                out.append(
+                    f"{fam.name}_bucket"
+                    f"{_labelstr(fam.label_names, key, inf)} {hv.count}"
+                )
+                out.append(
+                    f"{fam.name}_sum{_labelstr(fam.label_names, key)} {_fmt(hv.sum)}"
+                )
+                out.append(
+                    f"{fam.name}_count{_labelstr(fam.label_names, key)} {hv.count}"
+                )
+            else:
+                out.append(
+                    f"{fam.name}{_labelstr(fam.label_names, key)} {_fmt(child.get())}"
+                )
+    return "\n".join(out) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# parsing (for `repro top` and round-trip tests)
+# --------------------------------------------------------------------- #
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)(?:\s+\d+)?$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _parse_value(raw: str) -> float:
+    low = raw.lower()
+    if low in ("+inf", "inf"):
+        return math.inf
+    if low == "-inf":
+        return -math.inf
+    if low == "nan":
+        return math.nan
+    return float(raw)
+
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+@dataclass
+class ParsedMetrics:
+    """Samples parsed back from the Prometheus text format.
+
+    ``samples[name][labelset]`` is the sample value, with ``labelset`` a
+    sorted tuple of ``(label, value)`` pairs.  Histogram component samples
+    (`*_bucket`, `*_sum`, `*_count`) appear under their literal names.
+    """
+
+    samples: dict[str, dict[LabelSet, float]] = field(default_factory=dict)
+
+    def value(self, name: str, default: float | None = None, **labels) -> float | None:
+        """One series (labels given by keyword), ``default`` if absent."""
+        series = self.samples.get(name)
+        if not series:
+            return default
+        want = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        return series.get(want, default)
+
+    def series(self, name: str) -> dict[LabelSet, float]:
+        return self.samples.get(name, {})
+
+    def label_values(self, name: str, label: str) -> list[str]:
+        """Distinct values of ``label`` across one family's samples."""
+        out: list[str] = []
+        for labelset in self.samples.get(name, {}):
+            for k, v in labelset:
+                if k == label and v not in out:
+                    out.append(v)
+        return sorted(out)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly nesting: ``{name: [{labels, value}, ...]}``."""
+        return {
+            name: [
+                {"labels": dict(labelset), "value": value}
+                for labelset, value in sorted(series.items())
+            ]
+            for name, series in sorted(self.samples.items())
+        }
+
+
+def parse_prometheus(text: str) -> ParsedMetrics:
+    """Parse Prometheus text exposition back into samples.
+
+    Supports what :func:`render_prometheus` emits (plus optional
+    timestamps); comment/HELP/TYPE lines are skipped.
+    """
+    parsed = ParsedMetrics()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ConfigurationError(f"unparseable exposition line: {line!r}")
+        name, rawlabels, rawvalue = m.group(1), m.group(2), m.group(3)
+        labels: LabelSet = ()
+        if rawlabels:
+            labels = tuple(
+                sorted(
+                    (k, _unescape(v)) for k, v in _LABEL_PAIR_RE.findall(rawlabels)
+                )
+            )
+        parsed.samples.setdefault(name, {})[labels] = _parse_value(rawvalue)
+    return parsed
+
+
+# --------------------------------------------------------------------- #
+# HTTP endpoint + client
+# --------------------------------------------------------------------- #
+
+
+class MetricsServer:
+    """Asyncio HTTP endpoint exposing a registry (and optional event log).
+
+    Usage::
+
+        server = MetricsServer(instruments.registry, events=instruments.events)
+        await server.start()
+        print(server.address)        # point Prometheus / `repro top` here
+        ...
+        await server.stop()
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        events: EventLog | None = None,
+        bind: tuple[str, int] = ("127.0.0.1", 0),
+    ):
+        self.registry = registry
+        self.events = events
+        self._bind = bind
+        self._server: asyncio.base_events.Server | None = None
+        self.requests = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self._bind[0], self._bind[1]
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "MetricsServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ConfigurationError("metrics server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}/metrics"
+
+    def _respond(self, path: str) -> tuple[int, str, str]:
+        if path == "/metrics":
+            return 200, CONTENT_TYPE, render_prometheus(self.registry)
+        if path == "/events":
+            if self.events is None:
+                return 404, "text/plain", "no event log bound\n"
+            body = self.events.to_json_lines()
+            return 200, "application/x-ndjson", body + ("\n" if body else "")
+        if path == "/healthz":
+            return 200, "text/plain", "ok\n"
+        return 404, "text/plain", f"unknown path {path}\n"
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers; we serve GETs without bodies
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.split()
+            self.requests += 1
+            if len(parts) < 2 or parts[0] != b"GET":
+                status, ctype, body = 405, "text/plain", "GET only\n"
+            else:
+                path = parts[1].decode("latin-1").split("?", 1)[0]
+                status, ctype, body = self._respond(path)
+            payload = body.encode("utf-8")
+            reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}[status]
+            head = (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def http_get(url: str, *, timeout: float = 5.0) -> tuple[int, str]:
+    """Minimal HTTP/1.1 GET for scraping the endpoint (stdlib sockets only).
+
+    Returns ``(status_code, body)``.  Built for the loopback metrics
+    endpoint — no TLS, no redirects, no chunked encoding.
+    """
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    if parts.scheme not in ("http", ""):
+        raise ConfigurationError(f"only http:// URLs are supported, got {url!r}")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 80
+    path = parts.path or "/"
+    if parts.query:
+        path += "?" + parts.query
+
+    async def fetch() -> tuple[int, str]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+                f"Connection: close\r\n\r\n".encode("latin-1")
+            )
+            await writer.drain()
+            raw = await reader.read(-1)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].split()
+        status = int(status_line[1]) if len(status_line) >= 2 else 0
+        return status, body.decode("utf-8", errors="replace")
+
+    return await asyncio.wait_for(fetch(), timeout)

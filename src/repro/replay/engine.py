@@ -12,6 +12,7 @@ the paper's fairness requirement.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Union
 
@@ -197,13 +198,20 @@ def _account(
     )
 
 
-def replay(spec: Spec, source: MonitorView | HeartbeatTrace) -> ReplayResult:
+def replay(
+    spec: Spec, source: MonitorView | HeartbeatTrace, *, instruments=None
+) -> ReplayResult:
     """Run one detector spec over one trace (or pre-extracted view).
 
     The warm-up convention matches the streaming detectors: accounting
     starts at received index ``window − 1`` (window full), except the
     fixed detector, which becomes ready after 2 heartbeats.
+
+    ``instruments`` (a :class:`repro.obs.Instruments` bundle) records the
+    replay's throughput — heartbeats, wall seconds, heartbeats/second —
+    and the resulting QoS per detector family.
     """
+    t0 = time.perf_counter() if instruments is not None else 0.0
     view = source.monitor_view() if isinstance(source, HeartbeatTrace) else source
     if not isinstance(view, MonitorView):
         raise ConfigurationError(f"cannot replay over {type(source).__name__}")
@@ -257,6 +265,10 @@ def replay(spec: Spec, source: MonitorView | HeartbeatTrace) -> ReplayResult:
     else:
         raise ConfigurationError(f"unknown spec type {type(spec).__name__}")
     qos = _account(view, fp, r0)
+    if instruments is not None:
+        instruments.record_replay(
+            spec.detector, len(view), time.perf_counter() - t0, qos=qos
+        )
     return ReplayResult(
         spec=spec,
         qos=qos,

@@ -151,6 +151,10 @@ class FaultInjector:
         Root of the per-datagram decision randomness.
     bind:
         Upstream listening address (port 0 = ephemeral).
+    instruments:
+        Optional :class:`repro.obs.Instruments` bundle; each datagram's
+        fate (forwarded/dropped, per-fault-kind counts) is mirrored into
+        its registry.
     """
 
     def __init__(
@@ -160,11 +164,13 @@ class FaultInjector:
         plan: FaultPlan | None = None,
         seed: int = 0,
         bind: tuple[str, int] = ("127.0.0.1", 0),
+        instruments=None,
     ):
         self.target = target
         self.plan = plan if plan is not None else FaultPlan()
         self.seed = int(seed)
         self._bind = bind
+        self._instruments = instruments
         self._protocol: _InjectorProtocol | None = None
         self._pending: set[asyncio.TimerHandle] = set()
         #: Per-sender Gilbert–Elliott burst state (True = BAD / losing).
@@ -328,6 +334,8 @@ class FaultInjector:
 
     def _log(self, key: str, fate: str) -> None:
         self.schedule.append(f"{key}:{fate}")
+        if self._instruments is not None:
+            self._instruments.on_fault(fate)
 
 
 @dataclass(frozen=True)

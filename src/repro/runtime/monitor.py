@@ -5,16 +5,27 @@ Binds the transport layer (:mod:`repro.runtime.udp`) to the cluster layer
 ``heartbeat()`` on the table, and status queries read the per-node
 detectors at the local clock.  Thread-model: everything runs on the
 asyncio event loop; no locking needed.
+
+With ``instruments`` set, every layer reports into the observability
+spine: the listener counts datagrams/malformed floods, each accepted
+heartbeat increments per-node counters and inter-arrival histograms (and
+optionally a full lifecycle trace event), the table surfaces status
+transitions/restarts/stale drops, self-tuning detectors export their
+SM(k) trajectory, and a scrape-time collector refreshes per-node gauges.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.detectors.base import FailureDetector
 from repro.cluster.membership import MembershipTable, NodeStatus
+from repro.qos.spec import QoSReport
 from repro.runtime.udp import UDPHeartbeatListener
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.instruments import Instruments
 
 __all__ = ["LiveMonitor"]
 
@@ -30,6 +41,10 @@ class LiveMonitor:
         Local UDP address; port 0 picks a free port.
     clock:
         Arrival clock shared with status queries (monotonic by default).
+    instruments:
+        Optional :class:`repro.obs.Instruments` bundle; when given, the
+        listener, table, and detectors all report into it and its
+        registry gains a scrape-time collector over this monitor.
 
     Usage::
 
@@ -48,15 +63,26 @@ class LiveMonitor:
         bind: tuple[str, int] = ("127.0.0.1", 0),
         clock: Callable[[], float] = time.monotonic,
         account_qos: bool = False,
+        instruments: "Instruments | None" = None,
     ):
         self.clock = clock
+        self.instruments = instruments
+        if instruments is not None:
+            detector_factory = instruments.wrap_detector_factory(detector_factory)
         self.table = MembershipTable(
-            detector_factory, auto_register=True, account_qos=account_qos
+            detector_factory,
+            auto_register=True,
+            account_qos=account_qos,
+            on_transition=instruments.on_transition if instruments else None,
+            on_restart=instruments.on_restart if instruments else None,
+            on_stale=instruments.on_stale if instruments else None,
         )
         self._listener = UDPHeartbeatListener(
-            self._on_heartbeat, bind=bind, clock=clock
+            self._on_heartbeat, bind=bind, clock=clock, instruments=instruments
         )
         self.received = 0
+        if instruments is not None:
+            instruments.bind_monitor(self)
 
     def _on_heartbeat(
         self, node_id: str, seq: int, send_time: float, arrival: float
@@ -64,8 +90,12 @@ class LiveMonitor:
         # The sender's wall stamp is NOT comparable to our monotonic clock;
         # detectors receive only the local arrival (Section II-B: no
         # synchronized clocks).
-        self.table.heartbeat(node_id, seq, arrival, send_time=None)
+        state = self.table.heartbeat(node_id, seq, arrival, send_time=None)
         self.received += 1
+        if self.instruments is not None:
+            self.instruments.record_heartbeat(
+                node_id, seq, send_time, arrival, detector=state.detector
+            )
 
     async def start(self) -> None:
         await self._listener.start()
@@ -78,10 +108,8 @@ class LiveMonitor:
         return self._listener.address
 
     def status(self, node_id: str) -> NodeStatus:
-        """Current status of one node."""
-        if node_id not in self.table:
-            return NodeStatus.UNKNOWN
-        return self.table.node(node_id).status(self.clock())
+        """Current status of one node (``UNKNOWN`` for ids never seen)."""
+        return self.table.status_of(node_id, self.clock())
 
     def statuses(self) -> dict[str, NodeStatus]:
         """Snapshot of every known node."""
@@ -90,6 +118,11 @@ class LiveMonitor:
     def summary(self) -> dict[NodeStatus, int]:
         return self.table.summary(self.clock())
 
-    def qos(self, node_id: str):
-        """Measured live QoS of one node (requires ``account_qos=True``)."""
+    def qos(self, node_id: str) -> QoSReport:
+        """Measured live QoS of one node (requires ``account_qos=True``).
+
+        Raises :class:`repro.errors.UnknownNodeError` for ids never seen —
+        unlike :meth:`status`, there is no meaningful "unknown" QoS report
+        to return, so the mismatch must surface to the caller.
+        """
         return self.table.node(node_id).qos(self.clock())

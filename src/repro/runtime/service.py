@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnknownNodeError
 from repro.detectors.base import FailureDetector
 from repro.core.accrual import AccrualService, ActionBinding
 from repro.cluster.membership import NodeStatus
@@ -54,6 +54,9 @@ class FailureDetectionService:
         Period of the binding-callback poll loop, seconds.
     clock:
         Shared local clock.
+    instruments:
+        Optional :class:`repro.obs.Instruments` bundle, forwarded to the
+        owned :class:`LiveMonitor`.
     """
 
     def __init__(
@@ -63,12 +66,15 @@ class FailureDetectionService:
         bind: tuple[str, int] = ("127.0.0.1", 0),
         poll_interval: float = 0.05,
         clock: Callable[[], float] = time.monotonic,
+        instruments=None,
     ):
         if poll_interval <= 0:
             raise ConfigurationError(
                 f"poll_interval must be > 0, got {poll_interval!r}"
             )
-        self.monitor = LiveMonitor(detector_factory, bind=bind, clock=clock)
+        self.monitor = LiveMonitor(
+            detector_factory, bind=bind, clock=clock, instruments=instruments
+        )
         self.poll_interval = float(poll_interval)
         self.clock = clock
         self.binding_errors = 0
@@ -136,9 +142,12 @@ class FailureDetectionService:
     # -- queries ---------------------------------------------------------#
 
     def peer_status(self, node_id: str) -> PeerStatus:
-        """Full live view of one peer."""
+        """Full live view of one peer.
+
+        Raises :class:`repro.errors.UnknownNodeError` for ids never seen.
+        """
         if node_id not in self.monitor.table:
-            raise ConfigurationError(f"unknown peer {node_id!r}")
+            raise UnknownNodeError(node_id)
         state = self.monitor.table.node(node_id)
         now = self.clock()
         level = state.detector.suspicion(now) if state.detector.ready else 0.0

@@ -70,6 +70,9 @@ class Supervisor:
         seconds, so a task that crashes rarely is restarted forever.
     seed:
         Seed for the jitter stream.
+    instruments:
+        Optional :class:`repro.obs.Instruments` bundle; crash, backoff,
+        and give-up accounting is mirrored into its registry/event log.
     """
 
     def __init__(
@@ -81,6 +84,7 @@ class Supervisor:
         jitter: float = 0.5,
         max_restarts: int | None = None,
         seed: int = 0,
+        instruments=None,
     ):
         if backoff_base <= 0:
             raise ConfigurationError(f"backoff_base must be > 0, got {backoff_base!r}")
@@ -103,6 +107,7 @@ class Supervisor:
         self.backoff_max = float(backoff_max)
         self.jitter = float(jitter)
         self.max_restarts = max_restarts
+        self._instruments = instruments
         self._rng = np.random.default_rng(seed)
         self._tasks: dict[str, asyncio.Task] = {}
         self._stats: dict[str, TaskStats] = {}
@@ -146,6 +151,8 @@ class Supervisor:
                 consecutive += 1
                 if self.max_restarts is not None and consecutive > self.max_restarts:
                     stats.gave_up = True
+                    if self._instruments is not None:
+                        self._instruments.on_supervisor_giveup(name)
                     return
                 delay = min(
                     self.backoff_base * self.backoff_factor ** (consecutive - 1),
@@ -153,6 +160,10 @@ class Supervisor:
                 )
                 delay *= 1.0 + self.jitter * float(self._rng.random())
                 stats.last_backoff = delay
+                if self._instruments is not None:
+                    self._instruments.on_supervisor_crash(
+                        name, stats.last_error, delay
+                    )
                 await asyncio.sleep(delay)
 
     async def cancel(self, name: str) -> None:

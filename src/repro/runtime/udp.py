@@ -17,9 +17,12 @@ import asyncio
 import math
 import struct
 import time
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.instruments import Instruments
 
 __all__ = [
     "HEARTBEAT_SIZE",
@@ -95,6 +98,7 @@ class UDPHeartbeatSender:
         interval: float = 0.1,
         clock: Callable[[], float] = time.time,
         reopen_backoff_max: float = 2.0,
+        instruments: "Instruments | None" = None,
     ):
         if interval <= 0:
             raise ConfigurationError(f"interval must be > 0, got {interval!r}")
@@ -111,6 +115,7 @@ class UDPHeartbeatSender:
         self.send_errors = 0
         self.reopens = 0
         self._reopen_backoff_max = float(reopen_backoff_max)
+        self._instruments = instruments
         self._protocol: _SenderProtocol | None = None
         self._task: asyncio.Task | None = None
 
@@ -134,6 +139,8 @@ class UDPHeartbeatSender:
             pack_heartbeat(self.node_id, self.sent, self.clock())
         )
         self.sent += 1
+        if self._instruments is not None:
+            self._instruments.on_sent(self.node_id)
 
     async def _reopen(self) -> None:
         """Re-establish the datagram endpoint, backing off exponentially.
@@ -158,6 +165,8 @@ class UDPHeartbeatSender:
                 continue
             self._protocol = protocol
             self.reopens += 1
+            if self._instruments is not None:
+                self._instruments.on_reopen(self.node_id)
             return
 
     async def _run(self) -> None:
@@ -173,6 +182,8 @@ class UDPHeartbeatSender:
                 self._send_one()
             except OSError:
                 self.send_errors += 1
+                if self._instruments is not None:
+                    self._instruments.on_send_error(self.node_id)
                 await self._reopen()
             ticks += 1
             deadline = start + ticks * self.interval
@@ -204,10 +215,12 @@ class _ListenerProtocol(asyncio.DatagramProtocol):
         on_heartbeat: Callable[[str, int, float, float], None],
         clock: Callable[[], float],
         malformed_limit: int,
+        instruments: "Instruments | None" = None,
     ):
         self._on_heartbeat = on_heartbeat
         self._clock = clock
         self._malformed_limit = malformed_limit
+        self._instruments = instruments
         self._window_start = -math.inf
         self._window_count = 0
         self.transport: asyncio.DatagramTransport | None = None
@@ -226,13 +239,18 @@ class _ListenerProtocol(asyncio.DatagramProtocol):
             self._window_start = now
             self._window_count = 0
         self._window_count += 1
-        if self._window_count <= self._malformed_limit:
-            self.malformed += 1
-        else:
+        suppressed = self._window_count > self._malformed_limit
+        if suppressed:
             self.malformed_suppressed += 1
+        else:
+            self.malformed += 1
+        if self._instruments is not None:
+            self._instruments.on_malformed(suppressed)
 
     def datagram_received(self, data: bytes, addr) -> None:  # type: ignore[override]
         arrival = self._clock()
+        if self._instruments is not None:
+            self._instruments.on_datagram()
         try:
             node_id, seq, send_time = unpack_heartbeat(data)
         except ConfigurationError:
@@ -243,6 +261,8 @@ class _ListenerProtocol(asyncio.DatagramProtocol):
         except Exception:
             # A faulty consumer must not tear down the datagram transport.
             self.callback_errors += 1
+            if self._instruments is not None:
+                self._instruments.on_callback_error()
 
 
 class UDPHeartbeatListener:
@@ -271,6 +291,7 @@ class UDPHeartbeatListener:
         bind: tuple[str, int] = ("127.0.0.1", 0),
         clock: Callable[[], float] = time.monotonic,
         malformed_limit: int = 100,
+        instruments: "Instruments | None" = None,
     ):
         if malformed_limit < 1:
             raise ConfigurationError(
@@ -280,13 +301,17 @@ class UDPHeartbeatListener:
         self._bind = bind
         self._clock = clock
         self._malformed_limit = int(malformed_limit)
+        self._instruments = instruments
         self._protocol: _ListenerProtocol | None = None
 
     async def start(self) -> None:
         loop = asyncio.get_running_loop()
         _, protocol = await loop.create_datagram_endpoint(
             lambda: _ListenerProtocol(
-                self._on_heartbeat, self._clock, self._malformed_limit
+                self._on_heartbeat,
+                self._clock,
+                self._malformed_limit,
+                self._instruments,
             ),
             local_addr=self._bind,
         )
