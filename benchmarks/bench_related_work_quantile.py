@@ -9,7 +9,7 @@ its conservative reach is *capped by the observed inter-arrival maximum*
 (sweeping q → 1 cannot go past history), unlike Chen's unbounded margin.
 """
 
-from repro.analysis import chen_curve, format_figure, quantile_curve
+from repro.analysis import format_figure, sweep_curve
 from repro.analysis.experiments import scaled_heartbeats
 from repro.traces import WAN_JAIST, synthesize
 
@@ -25,8 +25,8 @@ def run():
     )
     view = trace.monitor_view()
     return {
-        "quantile": quantile_curve(view, QUANTILES, window=1000),
-        "chen": chen_curve(view, ALPHAS, window=1000),
+        "quantile": sweep_curve("quantile", view, QUANTILES, window=1000),
+        "chen": sweep_curve("chen", view, ALPHAS, window=1000),
     }
 
 

@@ -82,12 +82,23 @@ from repro.consensus import ConsensusCluster, ConsensusOutcome
 from repro.replay import (
     replay,
     ReplayResult,
+    ReplaySpec,
     ChenSpec,
     BertierSpec,
     PhiSpec,
     FixedSpec,
     QuantileSpec,
     SFDSpec,
+)
+from repro.detectors.registry import (
+    DetectorFamily,
+    register,
+    get as get_family,
+    get_for_spec,
+    families,
+    parse_spec,
+    spec_string,
+    detector_factory,
 )
 
 __version__ = "1.0.0"
@@ -150,11 +161,21 @@ __all__ = [
     # replay
     "replay",
     "ReplayResult",
+    "ReplaySpec",
     "ChenSpec",
     "BertierSpec",
     "PhiSpec",
     "FixedSpec",
     "QuantileSpec",
     "SFDSpec",
+    # detector registry
+    "DetectorFamily",
+    "register",
+    "get_family",
+    "get_for_spec",
+    "families",
+    "parse_spec",
+    "spec_string",
+    "detector_factory",
     "__version__",
 ]

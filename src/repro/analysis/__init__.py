@@ -9,6 +9,7 @@ around this subpackage.
 """
 
 from repro.analysis.sweep import (
+    sweep_curve,
     chen_curve,
     phi_curve,
     bertier_point,
@@ -31,6 +32,7 @@ from repro.analysis.fastsweep import ChenSweeper, fast_chen_curve
 from repro.analysis.report import format_table, format_curve, format_figure
 
 __all__ = [
+    "sweep_curve",
     "chen_curve",
     "phi_curve",
     "bertier_point",

@@ -28,11 +28,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.sfd import SlotConfig
+from repro.detectors.registry import get as get_family
 from repro.errors import ConfigurationError
 from repro.qos.area import QoSCurve
 from repro.qos.spec import QoSReport, QoSRequirements
-from repro.replay.engine import BertierSpec, ChenSpec, PhiSpec, SFDSpec, replay
-from repro.analysis.sweep import bertier_point, chen_curve, phi_curve, sfd_curve
+from repro.replay.engine import replay
+from repro.analysis.sweep import sweep_curve
 from repro.traces.synth import synthesize
 from repro.traces.trace import HeartbeatTrace, MonitorView
 from repro.traces.wan import WANProfile, WAN_JAIST
@@ -169,13 +170,14 @@ def run_figure(
     trace = synthesize(setup.profile, n=setup.heartbeats(), seed=setup.seed)
     view = trace.monitor_view()
     curves: dict[str, QoSCurve] = {
-        "chen": chen_curve(view, setup.chen_alphas, window=setup.window),
-        "bertier": bertier_point(view, window=setup.window),
-        "phi": phi_curve(view, setup.phi_thresholds, window=setup.window),
-        "sfd": sfd_curve(
+        "chen": sweep_curve("chen", view, setup.chen_alphas, window=setup.window),
+        "bertier": sweep_curve("bertier", view, window=setup.window),
+        "phi": sweep_curve("phi", view, setup.phi_thresholds, window=setup.window),
+        "sfd": sweep_curve(
+            "sfd",
             view,
-            setup.sfd_requirements,
             setup.sfd_sm1,
+            requirements=setup.sfd_requirements,
             alpha=setup.sfd_alpha,
             beta=setup.sfd_beta,
             window=setup.window,
@@ -183,9 +185,7 @@ def run_figure(
         ),
     }
     if include_fixed:
-        from repro.analysis.sweep import fixed_curve
-
-        curves["fixed"] = fixed_curve(view, setup.chen_alphas)
+        curves["fixed"] = sweep_curve("fixed", view, setup.chen_alphas)
     return FigureResult(setup=setup, trace=trace, view=view, curves=curves)
 
 
@@ -214,18 +214,18 @@ def window_ablation(
         max_detection_time=0.9, max_mistake_rate=0.35, min_query_accuracy=0.99
     )
     slot = SlotConfig(100, reset_on_adjust=True, min_slots=5)
-    out: dict[str, dict[int, QoSReport]] = {
-        "chen": {},
+    # Representative mid-range parameters per family, built through the
+    # registry so a family rename/addition surfaces here automatically.
+    ablated: dict[str, dict] = {
+        "chen": {"alpha": chen_alpha},
         "bertier": {},
-        "phi": {},
-        "sfd": {},
+        "phi": {"threshold": phi_threshold},
+        "sfd": {"requirements": req, "sm1": sfd_sm1, "alpha": 0.1, "slot": slot},
     }
-    for ws in window_sizes:
-        out["chen"][ws] = replay(ChenSpec(alpha=chen_alpha, window=ws), view).qos
-        out["bertier"][ws] = replay(BertierSpec(window=ws), view).qos
-        out["phi"][ws] = replay(PhiSpec(threshold=phi_threshold, window=ws), view).qos
-        out["sfd"][ws] = replay(
-            SFDSpec(requirements=req, sm1=sfd_sm1, alpha=0.1, window=ws, slot=slot),
-            view,
-        ).qos
+    out: dict[str, dict[int, QoSReport]] = {name: {} for name in ablated}
+    for name, params in ablated.items():
+        family = get_family(name)
+        for ws in window_sizes:
+            spec = family.make_spec(window=ws, **params)
+            out[name][ws] = replay(spec, view).qos
     return out

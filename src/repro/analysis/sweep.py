@@ -4,32 +4,37 @@
 requirements, can the failure detector be parameterized to match these
 requirements? … we measure the area covered by the failure detector when
 we vary its parameter from a highly aggressive behavior to a very
-conservative one" (Section V).  Each function sweeps one detector family
-over a shared :class:`~repro.traces.trace.MonitorView` and returns a
-:class:`~repro.qos.area.QoSCurve` in sweep order.
+conservative one" (Section V).
+
+:func:`sweep_curve` is the single generic implementation: it resolves a
+family through :mod:`repro.detectors.registry`, builds one spec per grid
+value (the family's default aggressive→conservative grid when none is
+given), replays each over a shared
+:class:`~repro.traces.trace.MonitorView`, and returns a
+:class:`~repro.qos.area.QoSCurve` in sweep order.  Any registered family —
+including third-party ones added via ``registry.register`` — sweeps
+through this one path.
+
+The per-family ``*_curve`` functions are deprecated shims kept for source
+compatibility; they delegate verbatim to :func:`sweep_curve`.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+import warnings
+from typing import Sequence, Union
 
 from repro.core.feedback import InfeasiblePolicy
 from repro.core.sfd import SlotConfig
+from repro.detectors.registry import DetectorFamily, get as get_family
 from repro.qos.area import QoSCurve
 from repro.qos.spec import QoSRequirements
-from repro.replay.engine import (
-    BertierSpec,
-    ChenSpec,
-    FixedSpec,
-    PhiSpec,
-    QuantileSpec,
-    SFDSpec,
-    replay,
-)
+from repro.replay.engine import replay
 from repro.traces.trace import MonitorView
 
 __all__ = [
+    "sweep_curve",
     "chen_curve",
     "phi_curve",
     "bertier_point",
@@ -37,6 +42,53 @@ __all__ = [
     "fixed_curve",
     "quantile_curve",
 ]
+
+
+def sweep_curve(
+    family: Union[str, DetectorFamily],
+    view: MonitorView,
+    grid: Sequence[float] | None = None,
+    *,
+    instruments=None,
+    **params,
+) -> QoSCurve:
+    """Sweep one detector family over a shared view.
+
+    Parameters
+    ----------
+    family:
+        Registered family name (``"chen"``, ``"phi"``, …) or a
+        :class:`~repro.detectors.registry.DetectorFamily` descriptor.
+    view:
+        The shared monitor view (the paper's fairness requirement: every
+        family replays the same arrivals).
+    grid:
+        Sweep values assigned to the family's sweep parameter, aggressive
+        → conservative.  ``None`` uses the family's registered default
+        grid.  Single-point families (Bertier) record the grid value as
+        the curve parameter but ignore it in the spec.
+    instruments:
+        Optional :class:`repro.obs.Instruments` bundle forwarded to every
+        replay.
+    **params:
+        Fixed spec fields applied to every point (``window=``,
+        ``nominal_interval=``, SFD's ``requirements=``/``slot=``, …).
+    """
+    fam = get_family(family) if isinstance(family, str) else family
+    values = fam.default_grid if grid is None else tuple(grid)
+    curve = QoSCurve(fam.name)
+    for value in values:
+        res = replay(fam.grid_spec(value, **params), view, instruments=instruments)
+        curve.add(float(value), res.qos)
+    return curve
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use repro.analysis.sweep.{new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def chen_curve(
@@ -47,16 +99,16 @@ def chen_curve(
     nominal_interval: float | None = None,
     instruments=None,
 ) -> QoSCurve:
-    """Chen FD swept over its constant safety margin ``α`` (Eq. 3)."""
-    curve = QoSCurve("chen")
-    for alpha in alphas:
-        res = replay(
-            ChenSpec(alpha=alpha, window=window, nominal_interval=nominal_interval),
-            view,
-            instruments=instruments,
-        )
-        curve.add(alpha, res.qos)
-    return curve
+    """Deprecated shim: ``sweep_curve("chen", view, alphas, ...)``."""
+    _deprecated("chen_curve", 'sweep_curve("chen", ...)')
+    return sweep_curve(
+        "chen",
+        view,
+        alphas,
+        window=window,
+        nominal_interval=nominal_interval,
+        instruments=instruments,
+    )
 
 
 def phi_curve(
@@ -66,18 +118,9 @@ def phi_curve(
     window: int = 1000,
     instruments=None,
 ) -> QoSCurve:
-    """φ FD swept over its threshold ``Φ`` (paper range ``[0.5, 16]``).
-
-    Thresholds past the float64 inversion cutoff produce infinite
-    detection times; they stay in the curve (``finite()`` drops them),
-    making the paper's "graphs … stopped early" visible in the data.
-    """
-    curve = QoSCurve("phi")
-    for th in thresholds:
-        res = replay(PhiSpec(threshold=th, window=window), view,
-                     instruments=instruments)
-        curve.add(th, res.qos)
-    return curve
+    """Deprecated shim: ``sweep_curve("phi", view, thresholds, ...)``."""
+    _deprecated("phi_curve", 'sweep_curve("phi", ...)')
+    return sweep_curve("phi", view, thresholds, window=window, instruments=instruments)
 
 
 def bertier_point(
@@ -87,15 +130,15 @@ def bertier_point(
     nominal_interval: float | None = None,
     instruments=None,
 ) -> QoSCurve:
-    """Bertier FD — a single point ("it has no dynamic parameters")."""
-    curve = QoSCurve("bertier")
-    res = replay(
-        BertierSpec(window=window, nominal_interval=nominal_interval),
+    """Deprecated shim: ``sweep_curve("bertier", view, ...)`` (one point)."""
+    _deprecated("bertier_point", 'sweep_curve("bertier", ...)')
+    return sweep_curve(
+        "bertier",
         view,
+        window=window,
+        nominal_interval=nominal_interval,
         instruments=instruments,
     )
-    curve.add(0.0, res.qos)
-    return curve
 
 
 def fixed_curve(
@@ -104,12 +147,9 @@ def fixed_curve(
     *,
     instruments=None,
 ) -> QoSCurve:
-    """Fixed-timeout baseline swept over its static interval."""
-    curve = QoSCurve("fixed")
-    for to in timeouts:
-        res = replay(FixedSpec(timeout=to), view, instruments=instruments)
-        curve.add(to, res.qos)
-    return curve
+    """Deprecated shim: ``sweep_curve("fixed", view, timeouts, ...)``."""
+    _deprecated("fixed_curve", 'sweep_curve("fixed", ...)')
+    return sweep_curve("fixed", view, timeouts, instruments=instruments)
 
 
 def quantile_curve(
@@ -119,16 +159,11 @@ def quantile_curve(
     window: int = 1000,
     instruments=None,
 ) -> QoSCurve:
-    """Quantile-timeout FD swept over ``q`` (the [34-35] family).
-
-    Its conservative reach is capped by the observed inter-arrival maximum
-    — sweeping ``q -> 1`` cannot go past it, unlike Chen's margin."""
-    curve = QoSCurve("quantile")
-    for q in quantiles:
-        res = replay(QuantileSpec(quantile=q, window=window), view,
-                     instruments=instruments)
-        curve.add(q, res.qos)
-    return curve
+    """Deprecated shim: ``sweep_curve("quantile", view, quantiles, ...)``."""
+    _deprecated("quantile_curve", 'sweep_curve("quantile", ...)')
+    return sweep_curve(
+        "quantile", view, quantiles, window=window, instruments=instruments
+    )
 
 
 def sfd_curve(
@@ -145,32 +180,19 @@ def sfd_curve(
     sm_max: float = math.inf,
     instruments=None,
 ) -> QoSCurve:
-    """SFD swept over the initial margin ``SM₁`` (Section V: "a list about
-    the initial safety margin SM₁ is given … SM₁ gradually increases").
-
-    Unlike the open-loop detectors, every SM₁ run *self-tunes toward the
-    same requirement*, which is why the resulting curve occupies only the
-    target band instead of the full aggressive-conservative range — the
-    paper's headline observation ("For SFD, there is no data in the too
-    aggressive range … and the too conservative range").
-    """
-    curve = QoSCurve("sfd")
-    slot = slot if slot is not None else SlotConfig()
-    for sm1 in sm1_values:
-        res = replay(
-            SFDSpec(
-                requirements=requirements,
-                sm1=sm1,
-                alpha=alpha,
-                beta=beta,
-                window=window,
-                slot=slot,
-                nominal_interval=nominal_interval,
-                policy=policy,
-                sm_bounds=(0.0, sm_max),
-            ),
-            view,
-            instruments=instruments,
-        )
-        curve.add(sm1, res.qos)
-    return curve
+    """Deprecated shim: ``sweep_curve("sfd", view, sm1_values, ...)``."""
+    _deprecated("sfd_curve", 'sweep_curve("sfd", ...)')
+    return sweep_curve(
+        "sfd",
+        view,
+        sm1_values,
+        requirements=requirements,
+        alpha=alpha,
+        beta=beta,
+        window=window,
+        slot=slot if slot is not None else SlotConfig(),
+        nominal_interval=nominal_interval,
+        policy=policy,
+        sm_bounds=(0.0, sm_max),
+        instruments=instruments,
+    )

@@ -9,12 +9,21 @@ Everything the benchmark suite does is also reachable without pytest::
     python -m repro convergence [--sm1 0.005 1.8]
     python -m repro synth --case WAN-3 -o wan3.npz [-n 100000]
     python -m repro scan [--nodes 120] [--horizon 60]
+    python -m repro live [--detector "chen:alpha=0.5"] [--duration 5]
     python -m repro chaos [--duration 12] [--crash-at 6 --restart-at 8]
     python -m repro metrics http://127.0.0.1:9464/metrics [--json]
     python -m repro top --demo [--interval 1] [--iterations 5]
 
 Each subcommand prints the same rows/series the corresponding benchmark
 archives under ``benchmarks/results/``.
+
+Runtime subcommands (``live``, ``chaos``, ``consensus``, ``scan``) take
+``--detector <spec>`` where ``<spec>`` is a registry spec string —
+``family:key=value,...`` over the families in
+:mod:`repro.detectors.registry` (``chen``, ``bertier``, ``phi``, ``sfd``,
+``fixed``, ``quantile``, plus anything registered at runtime), e.g.
+``"chen:alpha=0.5"``, ``"phi:threshold=4.0,window=10"``,
+``"sfd:td=0.9,mr=0.35,qap=0.99,slot=100"``.
 """
 
 from __future__ import annotations
@@ -160,15 +169,24 @@ def cmd_synth(args: argparse.Namespace) -> None:
     print(f"wrote {trace.total_sent} heartbeats ({trace.name}) to {args.output}")
 
 
+def _detector_factory(spec_text: str):
+    """Parse ``--detector`` through the registry into a per-node factory."""
+    from repro.detectors import registry
+
+    try:
+        return registry.detector_factory(spec_text)
+    except Exception as exc:
+        raise SystemExit(f"bad --detector {spec_text!r}: {exc}")
+
+
 def cmd_consensus(args: argparse.Namespace) -> None:
     from repro.consensus import ConsensusCluster
-    from repro.detectors import PhiFD
 
     values = [f"value-{i % 3}" for i in range(args.n)]
     crash_times = {p: args.crash_at for p in range(args.crashes)}
     cluster = ConsensusCluster(
         values,
-        detector_factory=lambda p: PhiFD(4.0, window_size=10),
+        detector_factory=_detector_factory(args.detector),
         crash_times=crash_times,
         start_time=args.crash_at + 1.0 if args.crashes else 0.0,
         seed=args.seed,
@@ -190,7 +208,6 @@ def cmd_chaos(args: argparse.Namespace) -> None:
     import asyncio
 
     from repro.cluster.membership import NodeStatus
-    from repro.detectors import PhiFD
     from repro.net.loss import GilbertElliottLoss
     from repro.runtime import (
         ChaosScenario,
@@ -203,7 +220,7 @@ def cmd_chaos(args: argparse.Namespace) -> None:
     node = "node-p"
 
     async def drill() -> None:
-        monitor = LiveMonitor(lambda nid: PhiFD(2.0, window_size=32))
+        monitor = LiveMonitor(_detector_factory(args.detector))
         await monitor.start()
         injector = FaultInjector(monitor.address, seed=args.seed)
         await injector.start()
@@ -269,6 +286,58 @@ def cmd_chaos(args: argparse.Namespace) -> None:
         print(f"restarts recognized by the membership table: {restarts}")
 
     asyncio.run(drill())
+
+
+def cmd_live(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.runtime import FailureDetectionService, UDPHeartbeatSender
+
+    factory = _detector_factory(args.detector)
+
+    async def run() -> None:
+        async with FailureDetectionService(factory) as svc:
+            senders = [
+                UDPHeartbeatSender(
+                    f"node-{i:02d}", svc.address, interval=args.interval
+                )
+                for i in range(args.nodes)
+            ]
+            for sender in senders:
+                await sender.start()
+            print(
+                f"live monitor on {svc.address[0]}:{svc.address[1]} "
+                f"({args.nodes} senders, detector {args.detector!r})"
+            )
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            crashed = False
+            try:
+                while (elapsed := loop.time() - t0) < args.duration:
+                    if (
+                        args.crash_at is not None
+                        and not crashed
+                        and elapsed >= args.crash_at
+                    ):
+                        await senders[0].stop()
+                        crashed = True
+                        print(f"  t={elapsed:5.1f}s  crashed {senders[0].node_id}")
+                    counts = {k.value: v for k, v in svc.summary().items() if v}
+                    print(f"  t={elapsed:5.1f}s  {counts}")
+                    await asyncio.sleep(args.poll)
+            finally:
+                for sender in senders:
+                    await sender.stop()
+            print("\nfinal peer view:")
+            for node_id in sorted(svc.peers()):
+                st = svc.peer_status(node_id)
+                print(
+                    f"  {node_id}: {st.status.value:8s} "
+                    f"suspicion={st.suspicion:6.2f} "
+                    f"heartbeats={st.heartbeats}"
+                )
+
+    asyncio.run(run())
 
 
 def _metrics_url(raw: str) -> str:
@@ -365,7 +434,6 @@ def cmd_scan(args: argparse.Namespace) -> None:
     import math
 
     from repro.cluster import ClusterScan, NodeSpec
-    from repro.detectors import PhiFD
 
     specs = [
         NodeSpec(
@@ -376,7 +444,7 @@ def cmd_scan(args: argparse.Namespace) -> None:
         )
         for i in range(args.nodes)
     ]
-    scan = ClusterScan(specs, lambda nid: PhiFD(3.0, window_size=40), seed=args.seed)
+    scan = ClusterScan(specs, _detector_factory(args.detector), seed=args.seed)
     report = scan.run(horizon=args.horizon)
     counts = {k.value: v for k, v in report.counts().items()}
     print(f"scan of {args.nodes} nodes after {args.horizon}s: {counts}")
@@ -442,6 +510,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(func=cmd_synth)
 
+    def detector_opt(p: argparse.ArgumentParser, default: str):
+        p.add_argument(
+            "--detector",
+            default=default,
+            metavar="SPEC",
+            help=f"registry spec string, family:key=value,... (default {default!r})",
+        )
+
     p = sub.add_parser(
         "consensus", help="FD-driven consensus with coordinator crashes (DES)"
     )
@@ -450,7 +526,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--crashes", type=int, default=1)
     p.add_argument("--crash-at", type=float, default=2.0)
     p.add_argument("--horizon", type=float, default=60.0)
+    detector_opt(p, "phi:threshold=4.0,window=10")
     p.set_defaults(func=cmd_consensus)
+
+    p = sub.add_parser(
+        "live", help="live UDP monitor with demo senders (bounded duration)"
+    )
+    p.add_argument("--nodes", type=int, default=3, help="demo sender count")
+    p.add_argument("--interval", type=float, default=0.05, help="heartbeat period [s]")
+    p.add_argument("--duration", type=float, default=5.0, help="run time [s]")
+    p.add_argument("--poll", type=float, default=0.5, help="summary print period [s]")
+    p.add_argument(
+        "--crash-at",
+        type=float,
+        default=None,
+        help="stop the first sender at this offset [s]",
+    )
+    detector_opt(p, "phi:threshold=4.0,window=10")
+    p.set_defaults(func=cmd_live)
 
     p = sub.add_parser(
         "chaos", help="live UDP chaos drill: loss burst + sender crash/restart"
@@ -462,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--burst-len", type=float, default=2.0)
     p.add_argument("--crash-at", type=float, default=6.0)
     p.add_argument("--restart-at", type=float, default=8.0)
+    detector_opt(p, "phi:threshold=2.0,window=32")
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("metrics", help="scrape a repro Prometheus endpoint")
@@ -503,6 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2012)
     p.add_argument("--nodes", type=int, default=120)
     p.add_argument("--horizon", type=float, default=60.0)
+    detector_opt(p, "phi:threshold=3.0,window=40")
     p.set_defaults(func=cmd_scan)
 
     return parser

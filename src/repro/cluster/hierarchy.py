@@ -82,7 +82,9 @@ class GlobalMonitor:
     ----------
     detector_factory:
         Builds the per-site failure detector fed by digest arrivals (a
-        digest doubles as the site monitor's heartbeat).
+        digest doubles as the site monitor's heartbeat).  Accepts a
+        registry spec string, like every ``detector_factory`` in this
+        package.
     """
 
     def __init__(self, detector_factory):

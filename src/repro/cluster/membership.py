@@ -102,7 +102,9 @@ class MembershipTable:
     detector_factory:
         Called as ``detector_factory(node_id)`` to build a fresh detector
         when a node is registered (or first heard from, when
-        ``auto_register`` is set).
+        ``auto_register`` is set).  A registry spec string
+        (``"phi:threshold=4.0,window=10"``) or replay spec object is also
+        accepted and resolved via :mod:`repro.detectors.registry`.
     auto_register:
         Accept heartbeats from unknown nodes by registering them on the
         fly (how a PlanetLab-style open monitor behaves).
@@ -129,7 +131,7 @@ class MembershipTable:
 
     def __init__(
         self,
-        detector_factory: Callable[[str], FailureDetector],
+        detector_factory: Callable[[str], FailureDetector] | str,
         *,
         auto_register: bool = True,
         account_qos: bool = False,
@@ -143,6 +145,12 @@ class MembershipTable:
             raise ConfigurationError(
                 f"reorder_window must be >= 0, got {reorder_window!r}"
             )
+        if not callable(detector_factory):
+            # Spec string (or spec object): resolve through the registry so
+            # configs can say `"phi:threshold=4.0,window=10"` directly.
+            from repro.detectors import registry
+
+            detector_factory = registry.as_factory(detector_factory)
         self._factory = detector_factory
         self._auto = auto_register
         self._account = account_qos

@@ -105,7 +105,10 @@ class ClusterScan:
     nodes:
         Cluster description.
     detector_factory:
-        Per-node detector builder, ``factory(node_id) -> FailureDetector``.
+        Per-node detector builder, ``factory(node_id) -> FailureDetector``,
+        or a registry spec string (``"phi:threshold=3.0,window=40"``);
+        strings are resolved by the underlying
+        :class:`~repro.cluster.membership.MembershipTable`.
     seed:
         Base RNG seed; each node's link derives an independent stream.
     """
@@ -113,7 +116,7 @@ class ClusterScan:
     def __init__(
         self,
         nodes: list[NodeSpec],
-        detector_factory: Callable[[str], FailureDetector],
+        detector_factory: Callable[[str], FailureDetector] | str,
         *,
         seed: int = 0,
     ):

@@ -36,7 +36,20 @@ from repro.detectors.phi import PhiFD, phi_equivalent_timeout
 from repro.detectors.fixed import FixedTimeoutFD
 from repro.detectors.quantile import QuantileFD
 
+def __getattr__(name):
+    # `repro.detectors.registry` sits above the replay layer (it binds the
+    # replay specs and kernels into family descriptors), so it is resolved
+    # lazily: importing it eagerly here would pull replay into every
+    # detectors import and close an import cycle.
+    if name == "registry":
+        import importlib
+
+        return importlib.import_module("repro.detectors.registry")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "registry",
     "FailureDetector",
     "TimeoutFailureDetector",
     "SampleWindow",

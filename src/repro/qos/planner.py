@@ -28,7 +28,13 @@ from repro.qos.area import CurvePoint, QoSCurve
 from repro.qos.spec import QoSRequirements
 from repro.traces.trace import MonitorView
 
-__all__ = ["PlanResult", "feasible_points", "plan_from_curve", "plan_chen_alpha"]
+__all__ = [
+    "PlanResult",
+    "feasible_points",
+    "plan_from_curve",
+    "plan_detector",
+    "plan_chen_alpha",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,6 +83,31 @@ def plan_from_curve(
     feasible = feasible_points(curve, requirements)
     best = min(feasible, key=lambda p: p.detection_time) if feasible else None
     return PlanResult(point=best, feasible=feasible, swept=curve)
+
+
+def plan_detector(
+    family: str,
+    view: MonitorView,
+    requirements: QoSRequirements,
+    *,
+    grid: Sequence[float] | None = None,
+    **params,
+) -> PlanResult:
+    """Offline-plan any registered detector family's sweep parameter.
+
+    Resolves ``family`` through :mod:`repro.detectors.registry`, sweeps its
+    grid (the registered aggressive→conservative default when ``grid`` is
+    ``None``) via :func:`repro.analysis.sweep.sweep_curve`, and picks the
+    fastest feasible point per :func:`plan_from_curve` — the mechanized
+    "performance output graph" procedure for every family, including
+    third-party registered ones.  For Chen specifically,
+    :func:`plan_chen_alpha` remains the fast path (dense grids via the
+    one-pass exact sweeper).
+    """
+    from repro.analysis.sweep import sweep_curve  # avoid import cycle
+
+    curve = sweep_curve(family, view, grid, **params)
+    return plan_from_curve(curve, requirements)
 
 
 def plan_chen_alpha(

@@ -18,11 +18,13 @@ from repro.replay.vectorized import (
     bertier_freshness,
     phi_freshness,
     quantile_freshness,
+    fixed_freshness,
     sfd_freshness,
     SFDReplay,
 )
 from repro.replay.engine import (
     ReplayResult,
+    ReplaySpec,
     ChenSpec,
     BertierSpec,
     PhiSpec,
@@ -38,9 +40,11 @@ __all__ = [
     "bertier_freshness",
     "phi_freshness",
     "quantile_freshness",
+    "fixed_freshness",
     "sfd_freshness",
     "SFDReplay",
     "ReplayResult",
+    "ReplaySpec",
     "ChenSpec",
     "BertierSpec",
     "PhiSpec",

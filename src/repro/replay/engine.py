@@ -7,14 +7,22 @@ parameters).  :func:`replay` runs a spec against a
 report computed over the accounted (post-warm-up) period, with the exact
 semantics of DESIGN.md §5 — identical for every detector family, which is
 the paper's fairness requirement.
+
+Dispatch is family-agnostic: each spec carries its family's ``detector``
+tag, and :func:`replay` resolves the vectorized kernel through
+:mod:`repro.detectors.registry`.  Adding a family therefore requires no
+edit here — register a :class:`~repro.detectors.registry.DetectorFamily`
+and its spec replays.  (Per-family ``isinstance`` ladders are banned in
+this package; ``tests/test_repo_hygiene.py`` enforces it.)
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Any, Mapping, Union
 
 import numpy as np
 
@@ -23,17 +31,11 @@ from repro.core.feedback import InfeasiblePolicy, TuningStatus
 from repro.core.sfd import SlotConfig, TuningRecord
 from repro.qos.metrics import qos_from_intervals, suspicion_intervals_from_freshness
 from repro.qos.spec import QoSReport, QoSRequirements
-from repro.replay.vectorized import (
-    bertier_freshness,
-    chen_freshness,
-    phi_freshness,
-    quantile_freshness,
-    sfd_freshness,
-)
 from repro.traces.trace import HeartbeatTrace, MonitorView
 
 __all__ = [
     "ReplayResult",
+    "ReplaySpec",
     "ChenSpec",
     "BertierSpec",
     "PhiSpec",
@@ -44,8 +46,43 @@ __all__ = [
 ]
 
 
+class ReplaySpec:
+    """Dict round-tripping shared by every replay spec.
+
+    ``to_dict`` emits a flat mapping tagged with the family name;
+    ``from_dict`` inverts it (``from_dict(to_dict(s)) == s``), which is
+    what configs, archives, and the registry's spec strings build on.
+    Families with nested configuration (SFD) override both.
+    """
+
+    __slots__ = ()
+
+    detector = "abstract"
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"detector": self.detector}
+        for f in dataclasses.fields(self):
+            data[f.name] = getattr(self, f.name)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReplaySpec":
+        kwargs = dict(data)
+        tag = kwargs.pop("detector", cls.detector)
+        if tag != cls.detector:
+            raise ConfigurationError(
+                f"{cls.__name__} cannot load a {tag!r} spec"
+            )
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad {cls.__name__} fields: {exc}"
+            ) from exc
+
+
 @dataclass(frozen=True, slots=True)
-class ChenSpec:
+class ChenSpec(ReplaySpec):
     """Chen FD configuration (sweep parameter: ``alpha``)."""
 
     alpha: float
@@ -60,7 +97,7 @@ class ChenSpec:
 
 
 @dataclass(frozen=True, slots=True)
-class BertierSpec:
+class BertierSpec(ReplaySpec):
     """Bertier FD configuration (no sweep parameter — one point)."""
 
     beta: float = 1.0
@@ -77,7 +114,7 @@ class BertierSpec:
 
 
 @dataclass(frozen=True, slots=True)
-class PhiSpec:
+class PhiSpec(ReplaySpec):
     """φ FD configuration (sweep parameter: ``threshold``)."""
 
     threshold: float
@@ -91,7 +128,7 @@ class PhiSpec:
 
 
 @dataclass(frozen=True, slots=True)
-class QuantileSpec:
+class QuantileSpec(ReplaySpec):
     """Quantile-timeout FD ([34-35] family; sweep parameter: ``quantile``)."""
 
     quantile: float
@@ -105,7 +142,7 @@ class QuantileSpec:
 
 
 @dataclass(frozen=True, slots=True)
-class FixedSpec:
+class FixedSpec(ReplaySpec):
     """Fixed-timeout baseline (sweep parameter: ``timeout``)."""
 
     timeout: float
@@ -119,7 +156,7 @@ class FixedSpec:
 
 
 @dataclass(frozen=True)
-class SFDSpec:
+class SFDSpec(ReplaySpec):
     """SFD configuration (sweep parameter: the initial margin ``sm1``)."""
 
     requirements: QoSRequirements
@@ -137,6 +174,44 @@ class SFDSpec:
     @property
     def parameter(self) -> float:
         return self.sm1 if self.sm1 is not None else self.alpha
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "detector": self.detector,
+            "requirements": {
+                "max_detection_time": self.requirements.max_detection_time,
+                "max_mistake_rate": self.requirements.max_mistake_rate,
+                "min_query_accuracy": self.requirements.min_query_accuracy,
+            },
+            "sm1": self.sm1,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "window": self.window,
+            "nominal_interval": self.nominal_interval,
+            "slot": {
+                "heartbeats": self.slot.heartbeats,
+                "horizon": self.slot.horizon,
+                "reset_on_adjust": self.slot.reset_on_adjust,
+                "min_slots": self.slot.min_slots,
+            },
+            "policy": self.policy.value,
+            "sm_bounds": (self.sm_bounds[0], self.sm_bounds[1]),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SFDSpec":
+        kwargs = dict(data)
+        tag = kwargs.pop("detector", cls.detector)
+        if tag != cls.detector:
+            raise ConfigurationError(f"SFDSpec cannot load a {tag!r} spec")
+        try:
+            kwargs["requirements"] = QoSRequirements(**kwargs["requirements"])
+            kwargs["slot"] = SlotConfig(**kwargs["slot"])
+            kwargs["policy"] = InfeasiblePolicy(kwargs["policy"])
+            kwargs["sm_bounds"] = tuple(kwargs["sm_bounds"])
+            return cls(**kwargs)
+        except (TypeError, KeyError, ValueError) as exc:
+            raise ConfigurationError(f"bad SFDSpec fields: {exc}") from exc
 
 
 Spec = Union[ChenSpec, BertierSpec, PhiSpec, FixedSpec, QuantileSpec, SFDSpec]
@@ -203,6 +278,10 @@ def replay(
 ) -> ReplayResult:
     """Run one detector spec over one trace (or pre-extracted view).
 
+    The spec's family is resolved through the detector registry, which
+    supplies the vectorized kernel — any registered family (including
+    third-party ones) replays through this single path.
+
     The warm-up convention matches the streaming detectors: accounting
     starts at received index ``window − 1`` (window full), except the
     fixed detector, which becomes ready after 2 heartbeats.
@@ -211,7 +290,12 @@ def replay(
     replay's throughput — heartbeats, wall seconds, heartbeats/second —
     and the resulting QoS per detector family.
     """
+    # Lazy import: the registry sits above both the detectors and replay
+    # layers, so importing it at module scope would be cyclic.
+    from repro.detectors import registry
+
     t0 = time.perf_counter() if instruments is not None else 0.0
+    family = registry.get_for_spec(spec)
     view = source.monitor_view() if isinstance(source, HeartbeatTrace) else source
     if not isinstance(view, MonitorView):
         raise ConfigurationError(f"cannot replay over {type(source).__name__}")
@@ -221,50 +305,8 @@ def replay(
             f"view has {len(view)} heartbeats; need more than {r0 + 1} "
             f"for window {spec.window}"
         )
-    tuning: list[TuningRecord] = []
-    final_margin: float | None = None
-    status: TuningStatus | None = None
-    if isinstance(spec, ChenSpec):
-        fp = chen_freshness(
-            view, spec.alpha, window=spec.window, nominal_interval=spec.nominal_interval
-        )
-    elif isinstance(spec, BertierSpec):
-        fp = bertier_freshness(
-            view,
-            beta=spec.beta,
-            phi=spec.phi,
-            gamma=spec.gamma,
-            window=spec.window,
-            nominal_interval=spec.nominal_interval,
-        )
-    elif isinstance(spec, PhiSpec):
-        fp = phi_freshness(view, spec.threshold, window=spec.window)
-    elif isinstance(spec, QuantileSpec):
-        fp = quantile_freshness(view, spec.quantile, window=spec.window)
-    elif isinstance(spec, FixedSpec):
-        fp = np.full(len(view), np.nan)
-        fp[1:] = view.arrivals[1:] + spec.timeout
-        fp[0] = view.arrivals[0] + spec.timeout
-    elif isinstance(spec, SFDSpec):
-        run = sfd_freshness(
-            view,
-            spec.requirements,
-            sm1=spec.sm1,
-            alpha=spec.alpha,
-            beta=spec.beta,
-            window=spec.window,
-            nominal_interval=spec.nominal_interval,
-            slot=spec.slot,
-            policy=spec.policy,
-            sm_bounds=spec.sm_bounds,
-        )
-        fp = run.freshness
-        tuning = run.trace
-        final_margin = run.final_margin
-        status = run.status
-    else:
-        raise ConfigurationError(f"unknown spec type {type(spec).__name__}")
-    qos = _account(view, fp, r0)
+    run = family.kernel(view, spec)
+    qos = _account(view, run.freshness, r0)
     if instruments is not None:
         instruments.record_replay(
             spec.detector, len(view), time.perf_counter() - t0, qos=qos
@@ -272,9 +314,9 @@ def replay(
     return ReplayResult(
         spec=spec,
         qos=qos,
-        freshness=fp,
+        freshness=run.freshness,
         warmup_index=r0,
-        tuning=tuning,
-        final_margin=final_margin,
-        status=status,
+        tuning=run.tuning,
+        final_margin=run.final_margin,
+        status=run.status,
     )

@@ -52,6 +52,7 @@ __all__ = [
     "bertier_freshness",
     "phi_freshness",
     "quantile_freshness",
+    "fixed_freshness",
     "sfd_freshness",
     "SFDReplay",
 ]
@@ -244,6 +245,21 @@ def quantile_freshness(
             hi = min(lo + chunk, sw.shape[0])
             out[lo:hi] = np.quantile(sw[lo:hi], q, axis=1)
         fp[window:] = arrivals[window:] + out
+    return fp
+
+
+def fixed_freshness(view: MonitorView, timeout: float) -> np.ndarray:
+    """Fixed-timeout baseline freshness points: ``FP[r] = A_r + timeout``.
+
+    The static freshness interval of Section II-B — no estimator, so every
+    received heartbeat (including the first) fixes a point.
+    """
+    _require_view(view, 2)
+    if timeout <= 0:
+        raise ConfigurationError(f"timeout must be > 0, got {timeout!r}")
+    fp = np.full(view.arrivals.size, np.nan)
+    fp[1:] = view.arrivals[1:] + float(timeout)
+    fp[0] = view.arrivals[0] + float(timeout)
     return fp
 
 

@@ -36,7 +36,9 @@ class LiveMonitor:
     Parameters
     ----------
     detector_factory:
-        Per-node detector builder (``factory(node_id) -> FailureDetector``).
+        Per-node detector builder (``factory(node_id) -> FailureDetector``),
+        or a registry spec string such as ``"phi:threshold=4.0,window=10"``
+        (see :mod:`repro.detectors.registry`).
     bind:
         Local UDP address; port 0 picks a free port.
     clock:
@@ -58,7 +60,7 @@ class LiveMonitor:
 
     def __init__(
         self,
-        detector_factory: Callable[[str], FailureDetector],
+        detector_factory: Callable[[str], FailureDetector] | str,
         *,
         bind: tuple[str, int] = ("127.0.0.1", 0),
         clock: Callable[[], float] = time.monotonic,
@@ -67,6 +69,11 @@ class LiveMonitor:
     ):
         self.clock = clock
         self.instruments = instruments
+        if not callable(detector_factory):
+            # Registry spec string / spec object -> per-node factory.
+            from repro.detectors import registry
+
+            detector_factory = registry.as_factory(detector_factory)
         if instruments is not None:
             detector_factory = instruments.wrap_detector_factory(detector_factory)
         self.table = MembershipTable(

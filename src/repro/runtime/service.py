@@ -47,7 +47,10 @@ class FailureDetectionService:
     Parameters
     ----------
     detector_factory:
-        Per-peer detector builder.
+        Per-peer detector builder, or a registry spec string such as
+        ``"sfd:td=0.9,mr=0.35,qap=0.99"`` (the owned
+        :class:`LiveMonitor` resolves it via
+        :mod:`repro.detectors.registry`).
     bind:
         UDP bind address (port 0 = ephemeral).
     poll_interval:
@@ -61,7 +64,7 @@ class FailureDetectionService:
 
     def __init__(
         self,
-        detector_factory: Callable[[str], FailureDetector],
+        detector_factory: Callable[[str], FailureDetector] | str,
         *,
         bind: tuple[str, int] = ("127.0.0.1", 0),
         poll_interval: float = 0.05,

@@ -70,3 +70,53 @@ class TestCLI:
         out = run_cli(capsys, "consensus", "-n", "3", "--crashes", "1")
         assert "agreement  : True" in out
         assert "terminated : True" in out
+
+    def test_consensus_detector_spec(self, capsys):
+        out = run_cli(
+            capsys,
+            "consensus",
+            "-n",
+            "3",
+            "--crashes",
+            "1",
+            "--detector",
+            "chen:alpha=0.5,window=10",
+        )
+        assert "terminated : True" in out
+
+    def test_scan_detector_spec(self, capsys):
+        out = run_cli(
+            capsys,
+            "scan",
+            "--nodes",
+            "10",
+            "--horizon",
+            "20",
+            "--detector",
+            "fixed:timeout=0.5",
+        )
+        assert "accuracy vs ground truth" in out
+
+    def test_live(self, capsys):
+        out = run_cli(
+            capsys,
+            "live",
+            "--detector",
+            "chen:alpha=0.5,window=10",
+            "--nodes",
+            "2",
+            "--duration",
+            "1.5",
+            "--crash-at",
+            "0.7",
+            "--poll",
+            "0.3",
+        )
+        assert "live monitor on" in out
+        assert "crashed node-00" in out
+        assert "final peer view" in out
+        assert "node-01" in out
+
+    def test_bad_detector_spec_exits(self, capsys):
+        with pytest.raises(SystemExit, match="bad --detector"):
+            main(["live", "--detector", "nosuch:alpha=1"])

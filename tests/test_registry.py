@@ -1,0 +1,362 @@
+"""The detector-family registry: completeness, parsing, round-trips,
+dispatch, and the third-party ``register`` hook.
+
+The completeness tests are tier-1 guards for the "one descriptor drives
+every layer" invariant: every registered family must expose a streaming
+class, a round-trippable replay spec, a vectorized kernel, and an
+aggressive→conservative sweep grid — because replay, sweeps, the runtime,
+and the CLI all dispatch through these bindings blindly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import InfeasiblePolicy, SlotConfig
+from repro.detectors import registry
+from repro.detectors.base import FailureDetector
+from repro.detectors.chen import ChenFD
+from repro.detectors.fixed import FixedTimeoutFD
+from repro.detectors.phi import PhiFD
+from repro.errors import ConfigurationError
+from repro.qos.spec import QoSRequirements
+from repro.replay import (
+    BertierSpec,
+    ChenSpec,
+    FixedSpec,
+    PhiSpec,
+    QuantileSpec,
+    ReplaySpec,
+    SFDSpec,
+    fixed_freshness,
+    replay,
+)
+from repro.analysis.sweep import (
+    bertier_point,
+    chen_curve,
+    fixed_curve,
+    phi_curve,
+    quantile_curve,
+    sfd_curve,
+    sweep_curve,
+)
+
+BUILTIN = ("chen", "bertier", "phi", "quantile", "fixed", "sfd")
+
+REQ = QoSRequirements(
+    max_detection_time=0.8, max_mistake_rate=0.3, min_query_accuracy=0.98
+)
+
+ROUND_TRIP_SPECS = [
+    ChenSpec(alpha=0.25, window=120),
+    BertierSpec(beta=1.5, phi=3.0, gamma=0.2, window=80),
+    PhiSpec(threshold=6.0, window=64),
+    QuantileSpec(quantile=0.97, window=128),
+    FixedSpec(timeout=0.4),
+    SFDSpec(
+        requirements=REQ,
+        sm1=0.02,
+        alpha=0.2,
+        window=150,
+        slot=SlotConfig(heartbeats=50, reset_on_adjust=True, min_slots=2),
+        policy=InfeasiblePolicy.HOLD,
+        sm_bounds=(0.0, 5.0),
+    ),
+]
+
+# spec_string flattens SFD to the td/mr/qap/slot shorthands, so its exact
+# string round-trip holds for specs using default policy/bounds/slot flags.
+STRING_SPECS = ROUND_TRIP_SPECS[:-1] + [
+    SFDSpec(
+        requirements=REQ,
+        sm1=0.02,
+        alpha=0.2,
+        window=150,
+        slot=SlotConfig(heartbeats=50),
+    )
+]
+
+
+class TestCompleteness:
+    def test_builtin_families_registered(self):
+        assert registry.names() == BUILTIN
+
+    @pytest.mark.parametrize("name", BUILTIN)
+    def test_descriptor_bindings(self, name):
+        fam = registry.get(name)
+        assert fam.name == name
+        assert issubclass(fam.streaming_cls, FailureDetector)
+        assert issubclass(fam.spec_cls, ReplaySpec)
+        assert fam.spec_cls.detector == name
+        assert callable(fam.kernel)
+        assert callable(fam.build)
+        assert len(fam.default_grid) >= 1
+        # Section V ordering: aggressive -> conservative.
+        grid = np.asarray(fam.default_grid)
+        assert (np.diff(grid) >= 0).all()
+        if fam.sweep_param is not None:
+            fields = {f.name for f in dataclasses.fields(fam.spec_cls)}
+            assert fam.sweep_param in fields
+
+    @pytest.mark.parametrize("name", BUILTIN)
+    def test_defaults_build_a_streaming_detector(self, name):
+        fam = registry.get(name)
+        spec = fam.parse("")
+        det = fam.make_detector(spec)
+        assert isinstance(det, fam.streaming_cls)
+        # Every call yields an independent instance (per-node semantics).
+        assert fam.make_detector(spec) is not det
+
+    def test_unknown_family_lists_registered(self):
+        with pytest.raises(ConfigurationError, match="chen"):
+            registry.get("nosuch")
+
+    def test_get_for_spec_rejects_untagged(self):
+        with pytest.raises(ConfigurationError, match="no detector family tag"):
+            registry.get_for_spec(object())
+
+
+class TestDictRoundTrip:
+    @pytest.mark.parametrize("spec", ROUND_TRIP_SPECS, ids=lambda s: s.detector)
+    def test_from_dict_inverts_to_dict(self, spec):
+        fam = registry.get_for_spec(spec)
+        data = fam.spec_to_dict(spec)
+        assert data["detector"] == fam.name
+        assert fam.spec_from_dict(data) == spec
+
+    def test_wrong_tag_rejected(self):
+        data = PhiSpec(threshold=4.0).to_dict()
+        with pytest.raises(ConfigurationError, match="cannot load"):
+            ChenSpec.from_dict(data)
+
+    def test_unknown_field_rejected(self):
+        data = ChenSpec(alpha=0.1).to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ConfigurationError, match="bogus"):
+            ChenSpec.from_dict(data)
+
+    def test_sfd_nested_fields_survive(self):
+        spec = ROUND_TRIP_SPECS[-1]
+        back = SFDSpec.from_dict(spec.to_dict())
+        assert back.requirements == REQ
+        assert back.slot == spec.slot
+        assert back.policy is InfeasiblePolicy.HOLD
+        assert back.sm_bounds == (0.0, 5.0)
+
+    def test_sfd_malformed_nested_rejected(self):
+        data = ROUND_TRIP_SPECS[-1].to_dict()
+        data["requirements"] = {"max_detection_time": 0.8, "bogus": 1}
+        with pytest.raises(ConfigurationError):
+            SFDSpec.from_dict(data)
+
+
+class TestSpecStrings:
+    def test_parse_key_values(self):
+        assert registry.parse_spec("phi:threshold=4.0,window=10") == PhiSpec(
+            threshold=4.0, window=10
+        )
+
+    def test_bare_value_goes_to_sweep_param(self):
+        assert registry.parse_spec("chen:0.5") == ChenSpec(alpha=0.5)
+
+    def test_bare_family_uses_defaults(self):
+        assert registry.parse_spec("bertier") == BertierSpec()
+        assert registry.parse_spec("phi") == PhiSpec(threshold=4.0)
+
+    def test_none_coercion(self):
+        spec = registry.parse_spec("chen:alpha=0.2,nominal_interval=none")
+        assert spec.nominal_interval is None
+
+    def test_sfd_shorthands(self):
+        spec = registry.parse_spec("sfd:td=0.9,mr=0.35,qap=0.99,slot=100")
+        assert spec.requirements == QoSRequirements(
+            max_detection_time=0.9,
+            max_mistake_rate=0.35,
+            min_query_accuracy=0.99,
+        )
+        assert spec.slot.heartbeats == 100
+
+    def test_sfd_policy_and_bounds(self):
+        spec = registry.parse_spec("sfd:policy=hold,sm_max=2.0")
+        assert spec.policy is InfeasiblePolicy.HOLD
+        assert spec.sm_bounds == (0.0, 2.0)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "nosuch:alpha=1",
+            "bertier:1.5",  # no sweep parameter to absorb a bare value
+            "chen:bogus=1",
+            "phi:=3",
+            "sfd:policy=explode",
+        ],
+    )
+    def test_bad_strings_raise(self, bad):
+        with pytest.raises(ConfigurationError):
+            registry.parse_spec(bad)
+
+    @pytest.mark.parametrize("spec", STRING_SPECS, ids=lambda s: s.detector)
+    def test_spec_string_round_trip(self, spec):
+        text = registry.spec_string(spec)
+        assert text.startswith(f"{spec.detector}")
+        assert registry.parse_spec(text) == spec
+
+
+class TestFactories:
+    def test_detector_factory_from_string(self):
+        factory = registry.detector_factory("phi:threshold=6.0,window=32")
+        d1, d2 = factory("node-a"), factory("node-b")
+        assert isinstance(d1, PhiFD) and isinstance(d2, PhiFD)
+        assert d1 is not d2
+        assert d1.threshold == 6.0
+        assert factory.spec == PhiSpec(threshold=6.0, window=32)
+
+    def test_make_detector_from_spec_object(self):
+        det = registry.make_detector(ChenSpec(alpha=0.3, window=50))
+        assert isinstance(det, ChenFD)
+        assert det.alpha == 0.3
+
+    def test_as_factory_passes_callables_through(self):
+        def factory(node_id):
+            return FixedTimeoutFD(1.0)
+
+        assert registry.as_factory(factory) is factory
+        built = registry.as_factory("fixed:timeout=0.5")("n")
+        assert isinstance(built, FixedTimeoutFD)
+
+
+class TestSweepEquivalence:
+    """The generic sweep must reproduce every legacy per-family curve."""
+
+    def assert_same(self, legacy, new):
+        assert legacy.detector == new.detector
+        assert legacy.points == new.points
+
+    def test_chen(self, small_view):
+        with pytest.deprecated_call():
+            legacy = chen_curve(small_view, (0.05, 0.2), window=100)
+        self.assert_same(
+            legacy, sweep_curve("chen", small_view, (0.05, 0.2), window=100)
+        )
+
+    def test_phi(self, small_view):
+        with pytest.deprecated_call():
+            legacy = phi_curve(small_view, (1.0, 4.0), window=100)
+        self.assert_same(
+            legacy, sweep_curve("phi", small_view, (1.0, 4.0), window=100)
+        )
+
+    def test_bertier(self, small_view):
+        with pytest.deprecated_call():
+            legacy = bertier_point(small_view, window=100)
+        new = sweep_curve("bertier", small_view, window=100)
+        self.assert_same(legacy, new)
+        assert len(new) == 1
+
+    def test_fixed(self, small_view):
+        with pytest.deprecated_call():
+            legacy = fixed_curve(small_view, (0.1, 0.5))
+        self.assert_same(legacy, sweep_curve("fixed", small_view, (0.1, 0.5)))
+
+    def test_quantile(self, small_view):
+        with pytest.deprecated_call():
+            legacy = quantile_curve(small_view, (0.9, 0.99), window=100)
+        self.assert_same(
+            legacy, sweep_curve("quantile", small_view, (0.9, 0.99), window=100)
+        )
+
+    def test_sfd(self, small_view):
+        with pytest.deprecated_call():
+            legacy = sfd_curve(small_view, REQ, (0.01, 0.1), window=100)
+        new = sweep_curve(
+            "sfd",
+            small_view,
+            (0.01, 0.1),
+            requirements=REQ,
+            window=100,
+            slot=SlotConfig(),
+            sm_bounds=(0.0, float("inf")),
+        )
+        self.assert_same(legacy, new)
+
+    def test_default_grid_used_when_none(self, small_view):
+        fam = registry.get("fixed")
+        curve = sweep_curve("fixed", small_view)
+        assert [p.parameter for p in curve.points] == list(fam.default_grid)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DoubleSpec(ReplaySpec):
+    """Toy third-party spec: a fixed timeout applied at twice the value."""
+
+    timeout: float = 0.5
+
+    detector = "double"
+    window = 2
+
+    @property
+    def parameter(self) -> float:
+        return self.timeout
+
+
+def _double_kernel(view, spec):
+    return registry.KernelRun(fixed_freshness(view, 2.0 * spec.timeout))
+
+
+def _double_family(name: str = "double") -> registry.DetectorFamily:
+    return registry.DetectorFamily(
+        name=name,
+        summary="toy doubled-timeout family (plugin-hook test)",
+        streaming_cls=FixedTimeoutFD,
+        spec_cls=DoubleSpec,
+        kernel=_double_kernel,
+        default_grid=(0.1, 0.2),
+        sweep_param="timeout",
+        build=lambda s: FixedTimeoutFD(2.0 * s.timeout),
+        parse_defaults={"timeout": 0.5},
+    )
+
+
+class TestRegisterHook:
+    def test_registered_family_is_live_everywhere(self, small_view):
+        registry.register(_double_family())
+        try:
+            # Spec strings parse.
+            spec = registry.parse_spec("double:0.3")
+            assert spec == DoubleSpec(timeout=0.3)
+            # Replay dispatches to the plugin kernel.
+            res = replay(spec, small_view)
+            ref = replay(FixedSpec(timeout=0.6), small_view)
+            np.testing.assert_allclose(res.freshness, ref.freshness)
+            # Sweeps pick up the default grid.
+            curve = sweep_curve("double", small_view)
+            assert [p.parameter for p in curve.points] == [0.1, 0.2]
+            # The runtime factory path builds the streaming class.
+            det = registry.make_detector("double:timeout=0.25")
+            assert isinstance(det, FixedTimeoutFD)
+        finally:
+            registry.unregister("double")
+        with pytest.raises(ConfigurationError):
+            registry.get("double")
+
+    def test_duplicate_name_needs_replace(self):
+        registry.register(_double_family())
+        try:
+            with pytest.raises(ConfigurationError, match="already registered"):
+                registry.register(_double_family())
+            registry.register(_double_family(), replace=True)
+        finally:
+            registry.unregister("double")
+
+    def test_name_must_be_identifier(self):
+        with pytest.raises(ConfigurationError, match="identifier"):
+            registry.register(_double_family(name="no good"))
+
+    def test_spec_tag_must_match_name(self):
+        with pytest.raises(ConfigurationError, match="tags detector"):
+            registry.register(_double_family(name="triple"))

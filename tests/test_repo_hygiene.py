@@ -1,0 +1,54 @@
+"""Repository hygiene guards.
+
+Tier-1 checks that keep structural regressions out of the tree: no
+compiled bytecode under version control, and no per-family ``isinstance``
+ladders creeping back into the replay package now that dispatch goes
+through :mod:`repro.detectors.registry`.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _git(*args: str) -> str:
+    try:
+        out = subprocess.run(
+            ["git", *args],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        pytest.skip("git not available")
+    if out.returncode != 0:
+        pytest.skip(f"git {' '.join(args)} failed: {out.stderr.strip()}")
+    return out.stdout
+
+
+def test_no_bytecode_under_version_control():
+    tracked = _git("ls-files", "*__pycache__*", "*.pyc").strip()
+    assert tracked == "", f"compiled bytecode is committed:\n{tracked}"
+
+
+def test_gitignore_covers_bytecode():
+    text = (REPO / ".gitignore").read_text()
+    assert "__pycache__/" in text
+    assert "*.pyc" in text
+
+
+def test_no_isinstance_ladders_in_replay():
+    """Replay dispatch is registry-driven; per-spec isinstance chains are
+    banned (they were exactly what the registry refactor removed)."""
+    offenders = []
+    for path in (REPO / "src" / "repro" / "replay").glob("*.py"):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if "isinstance(spec" in line:
+                offenders.append(f"{path.name}:{lineno}: {line.strip()}")
+    assert not offenders, "\n".join(offenders)
