@@ -13,7 +13,8 @@ admirably well" (the paper's footnote 1) looks like.
 
 import numpy as np
 
-from repro.analysis import bertier_point, chen_curve, format_figure, phi_curve
+from repro.analysis import format_figure
+from repro.exp import ExperimentPlan
 from repro.traces import LAN_REFERENCE, synthesize
 
 from _common import SEED, emit
@@ -23,13 +24,12 @@ N = 60_000
 
 def run():
     trace = synthesize(LAN_REFERENCE, n=N, seed=SEED)
-    view = trace.monitor_view()
     alphas = [float(a) for a in np.geomspace(2e-4, 0.1, 10)]
-    return {
-        "bertier": bertier_point(view, window=1000),
-        "chen": chen_curve(view, alphas, window=1000),
-        "phi": phi_curve(view, [1.0, 4.0, 8.0, 16.0], window=1000),
-    }
+    plan = ExperimentPlan().add_trace("lan", trace)
+    plan.add_sweep("lan", "bertier", window=1000)
+    plan.add_sweep("lan", "chen", alphas, window=1000)
+    plan.add_sweep("lan", "phi", [1.0, 4.0, 8.0, 16.0], window=1000)
+    return plan.run().trace_curves("lan")
 
 
 def test_bertier_on_lan(benchmark):

@@ -1,0 +1,101 @@
+"""Experiment-engine fan-out: serial vs process-pool sweep execution.
+
+Section V's evaluation is embarrassingly parallel — every grid point is
+one independent replay — and ``repro.exp`` exploits that: the same
+:class:`~repro.exp.plan.ExperimentPlan` runs under
+:class:`~repro.exp.executors.SerialExecutor` and
+:class:`~repro.exp.executors.ProcessPoolExecutor` with **bit-identical**
+curves.  This bench measures what the fan-out buys: wall time for a
+four-family WAN-1 sweep serially and across ``JOBS`` worker processes,
+archived as ``BENCH_sweep.json`` (serial_s / parallel_s / speedup).
+
+On a machine with >= 4 cores the parallel run must be at least 2x
+faster; on smaller boxes (CI runners, containers) the speedup is
+recorded but not asserted — fork + pool overhead can eat the gain when
+the workers share one core.
+"""
+
+import os
+import time
+
+from repro.analysis.experiments import scaled_heartbeats
+from repro.exp import ExperimentPlan, ProcessPoolExecutor, SerialExecutor
+from repro.qos.spec import QoSRequirements
+from repro.traces import WAN_1, synthesize
+
+from _common import SEED, bench_stats, emit
+
+JOBS = 4
+
+REQ = QoSRequirements(
+    max_detection_time=0.9, max_mistake_rate=0.35, min_query_accuracy=0.99
+)
+
+
+def build_plan() -> ExperimentPlan:
+    n = scaled_heartbeats(WAN_1, scale=16)
+    trace = synthesize(WAN_1, n=n, seed=SEED)
+    plan = ExperimentPlan().add_trace("wan1", trace)
+    plan.add_sweep(
+        "wan1", "chen", [0.005, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 0.9],
+        window=1000,
+    )
+    plan.add_sweep("wan1", "bertier", window=1000)
+    plan.add_sweep(
+        "wan1", "phi", [0.5, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0], window=1000
+    )
+    plan.add_sweep("wan1", "quantile", [0.9, 0.99, 0.999, 1.0], window=1000)
+    plan.add_sweep(
+        "wan1", "sfd", [0.005, 0.05, 0.2, 0.9], requirements=REQ, window=1000
+    )
+    return plan
+
+
+def run():
+    plan = build_plan()
+    t0 = time.perf_counter()
+    serial = plan.run(SerialExecutor())
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = plan.run(ProcessPoolExecutor(jobs=JOBS))
+    parallel_s = time.perf_counter() - t0
+    return len(plan), serial, serial_s, parallel, parallel_s
+
+
+def test_parallel_sweep_speedup(benchmark):
+    n_jobs, serial, serial_s, parallel, parallel_s = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # The reproducibility contract: fan-out must not change a single bit.
+    assert parallel.curves == serial.curves
+    speedup = serial_s / parallel_s
+    cores = os.cpu_count() or 1
+    lines = [
+        "Experiment-engine fan-out: one WAN-1 plan, "
+        f"{n_jobs} replay jobs, {len(serial)} curves",
+        f"  cores     : {cores}",
+        f"  serial    : {serial_s:8.2f} s  (SerialExecutor)",
+        f"  parallel  : {parallel_s:8.2f} s  (ProcessPoolExecutor, "
+        f"{JOBS} workers)",
+        f"  speedup   : {speedup:8.2f} x",
+        "  curves    : bit-identical",
+    ]
+    emit(
+        "sweep",
+        "\n".join(lines),
+        {
+            "replay_jobs": n_jobs,
+            "curves": len(serial),
+            "cores": cores,
+            "workers": JOBS,
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "speedup": speedup,
+            "bit_identical": True,
+            "timing": bench_stats(benchmark),
+        },
+    )
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup on {cores} cores, got {speedup:.2f}x"
+        )

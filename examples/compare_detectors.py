@@ -12,15 +12,9 @@ Run:  python examples/compare_detectors.py        (quick, ~100k heartbeats)
 """
 
 from repro import QoSRequirements, SlotConfig
-from repro.analysis import (
-    bertier_point,
-    chen_curve,
-    format_figure,
-    phi_curve,
-    quantile_curve,
-    sfd_curve,
-)
+from repro.analysis import format_figure
 from repro.analysis.experiments import scaled_heartbeats
+from repro.exp import ExperimentPlan
 from repro.qos import covered_area
 from repro.traces import WAN_1, synthesize
 
@@ -36,18 +30,22 @@ def main() -> None:
         max_detection_time=0.9, max_mistake_rate=0.35, min_query_accuracy=0.99
     )
     alphas = [0.005, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 0.9]
-    curves = {
-        "chen": chen_curve(view, alphas),
-        "bertier": bertier_point(view),
-        "phi": phi_curve(view, [0.5, 1, 2, 4, 8, 12, 16]),
-        "quantile": quantile_curve(view, [0.9, 0.99, 0.999, 1.0]),
-        "sfd": sfd_curve(
-            view,
-            requirements,
-            [0.005, 0.05, 0.2, 0.9],
-            slot=SlotConfig(100, reset_on_adjust=True, min_slots=5),
-        ),
-    }
+    # One plan, every family, the same shared view (the paper's fairness
+    # requirement); plan.run(ProcessPoolExecutor(jobs=4)) would fan the
+    # same jobs out across cores with bit-identical curves.
+    plan = ExperimentPlan().add_trace("wan1", view)
+    plan.add_sweep("wan1", "chen", alphas)
+    plan.add_sweep("wan1", "bertier")
+    plan.add_sweep("wan1", "phi", [0.5, 1, 2, 4, 8, 12, 16])
+    plan.add_sweep("wan1", "quantile", [0.9, 0.99, 0.999, 1.0])
+    plan.add_sweep(
+        "wan1",
+        "sfd",
+        [0.005, 0.05, 0.2, 0.9],
+        requirements=requirements,
+        slot=SlotConfig(100, reset_on_adjust=True, min_slots=5),
+    )
+    curves = plan.run().trace_curves("wan1")
     print(format_figure(curves, title="WAN-1: detector comparison"))
 
     print("\nQoS-space coverage (fraction of requirements satisfiable,")

@@ -21,6 +21,7 @@ from repro.analysis.experiments import (
     ExperimentSetup,
     FigureResult,
     default_setup,
+    figure_plan,
     run_figure,
     window_ablation,
     scaled_heartbeats,
@@ -42,6 +43,7 @@ __all__ = [
     "ExperimentSetup",
     "FigureResult",
     "default_setup",
+    "figure_plan",
     "run_figure",
     "window_ablation",
     "scaled_heartbeats",

@@ -30,10 +30,10 @@ import numpy as np
 from repro.core.sfd import SlotConfig
 from repro.detectors.registry import get as get_family
 from repro.errors import ConfigurationError
+from repro.exp.plan import ExperimentPlan
 from repro.qos.area import QoSCurve
 from repro.qos.spec import QoSReport, QoSRequirements
 from repro.replay.engine import replay
-from repro.analysis.sweep import sweep_curve
 from repro.traces.synth import synthesize
 from repro.traces.trace import HeartbeatTrace, MonitorView
 from repro.traces.wan import WANProfile, WAN_JAIST
@@ -44,6 +44,7 @@ __all__ = [
     "ExperimentSetup",
     "FigureResult",
     "default_setup",
+    "figure_plan",
     "run_figure",
     "window_ablation",
 ]
@@ -156,36 +157,62 @@ def default_setup(profile: WANProfile, *, seed: int = 2012) -> ExperimentSetup:
     )
 
 
+def figure_plan(
+    setup: ExperimentSetup,
+    view: MonitorView,
+    *,
+    include_fixed: bool = False,
+    trace_key: str | None = None,
+) -> ExperimentPlan:
+    """The figure's sweeps as an :class:`~repro.exp.plan.ExperimentPlan`.
+
+    Every sweep shares ``view`` — the paper's fairness requirement — and
+    the plan expands to one :class:`~repro.exp.plan.ReplayJob` per grid
+    point, so any executor (serial or process-pool) regenerates the
+    figure from the same flat job list.
+    """
+    key = trace_key if trace_key is not None else setup.profile.name
+    plan = ExperimentPlan()
+    plan.add_trace(key, view)
+    plan.add_sweep(key, "chen", setup.chen_alphas, window=setup.window)
+    plan.add_sweep(key, "bertier", window=setup.window)
+    plan.add_sweep(key, "phi", setup.phi_thresholds, window=setup.window)
+    plan.add_sweep(
+        key,
+        "sfd",
+        setup.sfd_sm1,
+        requirements=setup.sfd_requirements,
+        alpha=setup.sfd_alpha,
+        beta=setup.sfd_beta,
+        window=setup.window,
+        slot=setup.sfd_slot,
+    )
+    if include_fixed:
+        plan.add_sweep(key, "fixed", setup.chen_alphas)
+    return plan
+
+
 def run_figure(
     setup: ExperimentSetup,
     *,
     include_fixed: bool = False,
+    executor=None,
 ) -> FigureResult:
     """Execute one experiment: one trace, all detector sweeps.
 
     The same synthesized trace (hence the same
     :class:`~repro.traces.trace.MonitorView`) feeds every sweep — the
-    paper's fairness requirement.
+    paper's fairness requirement.  ``executor`` selects how the expanded
+    job list runs (default: in-process
+    :class:`~repro.exp.executors.SerialExecutor`; pass
+    :class:`~repro.exp.executors.ProcessPoolExecutor` to regenerate the
+    figure on every core — curves are bit-identical either way).
     """
     trace = synthesize(setup.profile, n=setup.heartbeats(), seed=setup.seed)
     view = trace.monitor_view()
-    curves: dict[str, QoSCurve] = {
-        "chen": sweep_curve("chen", view, setup.chen_alphas, window=setup.window),
-        "bertier": sweep_curve("bertier", view, window=setup.window),
-        "phi": sweep_curve("phi", view, setup.phi_thresholds, window=setup.window),
-        "sfd": sweep_curve(
-            "sfd",
-            view,
-            setup.sfd_sm1,
-            requirements=setup.sfd_requirements,
-            alpha=setup.sfd_alpha,
-            beta=setup.sfd_beta,
-            window=setup.window,
-            slot=setup.sfd_slot,
-        ),
-    }
-    if include_fixed:
-        curves["fixed"] = sweep_curve("fixed", view, setup.chen_alphas)
+    plan = figure_plan(setup, view, include_fixed=include_fixed)
+    result = plan.run(executor)
+    curves = result.trace_curves(setup.profile.name)
     return FigureResult(setup=setup, trace=trace, view=view, curves=curves)
 
 

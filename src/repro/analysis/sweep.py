@@ -6,14 +6,16 @@ requirements? … we measure the area covered by the failure detector when
 we vary its parameter from a highly aggressive behavior to a very
 conservative one" (Section V).
 
-:func:`sweep_curve` is the single generic implementation: it resolves a
-family through :mod:`repro.detectors.registry`, builds one spec per grid
-value (the family's default aggressive→conservative grid when none is
-given), replays each over a shared
-:class:`~repro.traces.trace.MonitorView`, and returns a
+:func:`sweep_curve` is the single generic entry point: it resolves a
+family through :mod:`repro.detectors.registry`, declares a plan of one
+sweep over one shared :class:`~repro.traces.trace.MonitorView` (the
+family's default aggressive→conservative grid when none is given), runs
+it through the experiment engine (:mod:`repro.exp`), and returns a
 :class:`~repro.qos.area.QoSCurve` in sweep order.  Any registered family —
 including third-party ones added via ``registry.register`` — sweeps
-through this one path.
+through this one path, and multi-sweep/multi-trace runs (optionally
+fanned out across processes) build an
+:class:`~repro.exp.plan.ExperimentPlan` directly.
 
 The per-family ``*_curve`` functions are deprecated shims kept for source
 compatibility; they delegate verbatim to :func:`sweep_curve`.
@@ -28,9 +30,10 @@ from typing import Sequence, Union
 from repro.core.feedback import InfeasiblePolicy
 from repro.core.sfd import SlotConfig
 from repro.detectors.registry import DetectorFamily, get as get_family
+from repro.exp.executors import SerialExecutor
+from repro.exp.plan import ExperimentPlan
 from repro.qos.area import QoSCurve
 from repro.qos.spec import QoSRequirements
-from repro.replay.engine import replay
 from repro.traces.trace import MonitorView
 
 __all__ = [
@@ -73,14 +76,21 @@ def sweep_curve(
     **params:
         Fixed spec fields applied to every point (``window=``,
         ``nominal_interval=``, SFD's ``requirements=``/``slot=``, …).
+
+    Notes
+    -----
+    This is a plan-of-one over the experiment engine: an
+    :class:`~repro.exp.plan.ExperimentPlan` with one trace and one sweep,
+    executed by the in-process
+    :class:`~repro.exp.executors.SerialExecutor` (the only executor that
+    can thread ``instruments`` through every replay).
     """
     fam = get_family(family) if isinstance(family, str) else family
-    values = fam.default_grid if grid is None else tuple(grid)
-    curve = QoSCurve(fam.name)
-    for value in values:
-        res = replay(fam.grid_spec(value, **params), view, instruments=instruments)
-        curve.add(float(value), res.qos)
-    return curve
+    plan = ExperimentPlan()
+    plan.add_trace("view", view)
+    plan.add_sweep("view", fam, grid, **params)
+    result = plan.run(SerialExecutor(), instruments=instruments)
+    return result.curve("view", fam.name)
 
 
 def _deprecated(old: str, new: str) -> None:

@@ -4,7 +4,8 @@ Everything the benchmark suite does is also reachable without pytest::
 
     python -m repro table1
     python -m repro table2 [--scale 64] [--seed 2012]
-    python -m repro figure --case WAN-1 [--scale 64]
+    python -m repro figure --case WAN-1 [--scale 64] [--jobs 4]
+    python -m repro run experiments.toml [--jobs 4] [--output DIR]
     python -m repro ablation-window [--scale 64]
     python -m repro convergence [--sm1 0.005 1.8]
     python -m repro synth --case WAN-3 -o wan3.npz [-n 100000]
@@ -81,6 +82,15 @@ def cmd_table2(args: argparse.Namespace) -> None:
     )
 
 
+def _executor(jobs: int | None):
+    """Map a ``--jobs`` value onto an executor (None/1 → serial)."""
+    if jobs is None or jobs == 1:
+        return None
+    from repro.exp import ProcessPoolExecutor
+
+    return ProcessPoolExecutor(jobs=jobs)
+
+
 def cmd_figure(args: argparse.Namespace) -> None:
     profile = _profile(args.case)
     setup = default_setup(profile, seed=args.seed)
@@ -90,7 +100,7 @@ def cmd_figure(args: argparse.Namespace) -> None:
         setup = dataclasses.replace(
             setup, n_heartbeats=_scaled(profile, args.scale)
         )
-    result = run_figure(setup)
+    result = run_figure(setup, executor=_executor(args.jobs))
     print(
         format_figure(
             result.curves,
@@ -105,6 +115,42 @@ def cmd_figure(args: argparse.Namespace) -> None:
             result.curves, args.csv, prefix=profile.name.lower()
         )
         print(f"\nwrote {len(written)} CSV series to {args.csv}/")
+
+
+def cmd_run(args: argparse.Namespace) -> None:
+    from repro.exp import JobFailedError, load_config, run_config
+
+    try:
+        config = load_config(args.config)
+    except Exception as exc:
+        raise SystemExit(f"cannot load {args.config}: {exc}")
+    print(
+        f"{config.path}: {len(config.traces)} trace(s), "
+        f"{len(config.sweeps)} sweep(s), {len(config.plan)} replay jobs"
+    )
+    try:
+        outcome = run_config(
+            config,
+            jobs=args.jobs,
+            output=args.output,
+            archive=not args.no_archive,
+        )
+    except JobFailedError as exc:
+        raise SystemExit(str(exc))
+    for trace_key in outcome.result.curves:
+        print()
+        print(
+            format_figure(
+                outcome.result.trace_curves(trace_key),
+                title=f"{trace_key}: swept QoS curves",
+            )
+        )
+    mode = "serial" if outcome.jobs == 1 else f"{outcome.jobs} worker processes"
+    print(
+        f"\nran {outcome.n_jobs} replay jobs in {outcome.elapsed:.2f}s ({mode})"
+    )
+    for path in outcome.written:
+        print(f"archived {path}")
 
 
 def cmd_ablation_window(args: argparse.Namespace) -> None:
@@ -492,7 +538,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also export each series as CSV into DIR (for plotting)",
     )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan the sweep out across N worker processes (0 = all cores)",
+    )
     p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser(
+        "run", help="config-driven experiment run (TOML plan, see docs/experiments.md)"
+    )
+    p.add_argument("config", help="experiments.toml path")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (overrides [run] jobs; 1 = serial, 0 = all cores)",
+    )
+    p.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="curve archive directory (overrides [run] output)",
+    )
+    p.add_argument(
+        "--no-archive",
+        action="store_true",
+        help="print curves only, write nothing",
+    )
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("ablation-window", help="Section V-C window-size study")
     common(p, case_default="WAN-JAIST")

@@ -1,0 +1,52 @@
+"""The experiment engine: plan → executor pipeline for Section V sweeps.
+
+"One replay of one spec over one view" is the unit of work.
+:class:`ExperimentPlan` expands (trace × family × grid) declarations into
+flat :class:`ReplayJob` lists; pluggable executors run them — serially or
+fanned out across processes with fork-shared read-only views — and curves
+reassemble in deterministic sweep order regardless of completion order.
+:mod:`repro.exp.config` adds the TOML front end (``repro run``), and
+:mod:`repro.exp.archive` the lossless JSON curve archive.
+
+The sweep/figure layers (:func:`repro.analysis.sweep.sweep_curve`,
+:func:`repro.analysis.experiments.run_figure`) are thin wrappers over
+this package.
+"""
+
+from repro.exp.plan import ExperimentPlan, PlanResult, ReplayJob, SweepDecl
+from repro.exp.executors import (
+    JobFailedError,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    default_jobs,
+)
+from repro.exp.archive import (
+    archive_curves,
+    curve_from_dict,
+    curve_to_dict,
+    load_curve,
+    qos_from_dict,
+    qos_to_dict,
+)
+from repro.exp.config import ExperimentConfig, RunOutcome, load_config, run_config
+
+__all__ = [
+    "ExperimentPlan",
+    "PlanResult",
+    "ReplayJob",
+    "SweepDecl",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "JobFailedError",
+    "default_jobs",
+    "archive_curves",
+    "load_curve",
+    "curve_to_dict",
+    "curve_from_dict",
+    "qos_to_dict",
+    "qos_from_dict",
+    "ExperimentConfig",
+    "RunOutcome",
+    "load_config",
+    "run_config",
+]

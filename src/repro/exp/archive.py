@@ -1,0 +1,157 @@
+"""Curve archiving: lossless JSON round-trip for executed plans.
+
+Follows the ``benchmarks/results/BENCH_*.json`` convention — one
+machine-readable JSON document per artifact, written next to each other
+under one directory — but archives *curves* (every swept point with its
+full :class:`~repro.qos.spec.QoSReport`), so a figure can be re-rendered,
+diffed, or regression-tracked without re-running the sweep.  Non-finite
+values (the φ FD's inversion cutoff yields infinite detection times) are
+encoded as strings (``"inf"``/``"nan"``) to stay strict-JSON-parseable,
+and decoded back exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.qos.area import QoSCurve
+from repro.qos.spec import QoSReport
+
+__all__ = [
+    "qos_to_dict",
+    "qos_from_dict",
+    "curve_to_dict",
+    "curve_from_dict",
+    "archive_curves",
+    "load_curve",
+]
+
+_FORMAT = 1
+
+
+def _enc(value: float) -> float | str:
+    v = float(value)
+    return v if math.isfinite(v) else repr(v)  # 'inf' / '-inf' / 'nan'
+
+
+def _dec(value: Any) -> float:
+    return float(value)  # float('inf')/float('nan') parse the encodings
+
+
+def qos_to_dict(qos: QoSReport) -> dict[str, Any]:
+    """Every field of one QoS report, strict-JSON-safe."""
+    return {
+        "detection_time": _enc(qos.detection_time),
+        "mistake_rate": _enc(qos.mistake_rate),
+        "query_accuracy": _enc(qos.query_accuracy),
+        "mistakes": qos.mistakes,
+        "mistake_time": _enc(qos.mistake_time),
+        "accounted_time": _enc(qos.accounted_time),
+        "samples": qos.samples,
+    }
+
+
+def qos_from_dict(data: Mapping[str, Any]) -> QoSReport:
+    """Inverse of :func:`qos_to_dict` (bit-exact for finite floats)."""
+    try:
+        return QoSReport(
+            detection_time=_dec(data["detection_time"]),
+            mistake_rate=_dec(data["mistake_rate"]),
+            query_accuracy=_dec(data["query_accuracy"]),
+            mistakes=int(data["mistakes"]),
+            mistake_time=_dec(data["mistake_time"]),
+            accounted_time=_dec(data["accounted_time"]),
+            samples=int(data["samples"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"bad QoS archive entry: {exc}") from exc
+
+
+def curve_to_dict(curve: QoSCurve) -> dict[str, Any]:
+    """One swept curve with every point's parameter + full QoS report."""
+    return {
+        "format": _FORMAT,
+        "detector": curve.detector,
+        "points": [
+            {"parameter": _enc(p.parameter), "qos": qos_to_dict(p.qos)}
+            for p in curve.points
+        ],
+    }
+
+
+def curve_from_dict(data: Mapping[str, Any]) -> QoSCurve:
+    """Inverse of :func:`curve_to_dict`."""
+    version = data.get("format", _FORMAT)
+    if version != _FORMAT:
+        raise ConfigurationError(f"unsupported curve archive format {version!r}")
+    try:
+        curve = QoSCurve(str(data["detector"]))
+        for p in data["points"]:
+            curve.add(_dec(p["parameter"]), qos_from_dict(p["qos"]))
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(f"bad curve archive: {exc}") from exc
+    return curve
+
+
+def archive_curves(
+    curves: Mapping[str, Mapping[str, QoSCurve]],
+    directory: str | Path,
+    *,
+    meta: Mapping[str, Any] | None = None,
+) -> list[Path]:
+    """Write one ``CURVE_<trace>_<name>.json`` per curve plus a manifest.
+
+    ``curves`` is the ``trace → name → curve`` mapping of a
+    :class:`~repro.exp.plan.PlanResult`; ``meta`` lands in the manifest
+    (config path, seed, executor, wall times …).  Returns every path
+    written, manifest last.
+    """
+    if not curves:
+        raise ConfigurationError("no curves to archive")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    entries = []
+    for trace, per_trace in curves.items():
+        for name, curve in per_trace.items():
+            path = directory / f"CURVE_{trace}_{name}.json"
+            payload = {
+                "trace": trace,
+                "sweep": name,
+                **curve_to_dict(curve),
+            }
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            written.append(path)
+            entries.append(
+                {
+                    "trace": trace,
+                    "sweep": name,
+                    "detector": curve.detector,
+                    "file": path.name,
+                    "points": len(curve),
+                }
+            )
+    manifest = directory / "manifest.json"
+    manifest.write_text(
+        json.dumps(
+            {"format": _FORMAT, "curves": entries, **dict(meta or {})},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    written.append(manifest)
+    return written
+
+
+def load_curve(path: str | Path) -> QoSCurve:
+    """Read one archived curve back (inverse of :func:`archive_curves`)."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read curve archive {path}: {exc}") from exc
+    return curve_from_dict(data)

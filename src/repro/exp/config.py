@@ -1,0 +1,281 @@
+"""Config-file-driven experiment runs: ``repro run experiments.toml``.
+
+TFix+ (He et al.) argues that timeout experiments must be *declared*, not
+scripted, to be reproducible; this module is that declaration layer.  A
+TOML file lists traces (synthesized from a named WAN profile, or loaded
+from ``.npz``/``.csv`` files) and sweeps (registry family or full spec
+string + grid), and :func:`run_config` expands it through
+:class:`~repro.exp.plan.ExperimentPlan`, executes it serially or across
+processes, and archives every curve as JSON
+(:func:`~repro.exp.archive.archive_curves`).
+
+Schema::
+
+    [run]                      # optional defaults
+    jobs = 4                   # executor fan-out (CLI --jobs overrides)
+    output = "curves"          # archive directory, relative to this file
+    seed = 2012                # default synthesis seed
+
+    [[trace]]
+    name = "wan1"              # key sweeps refer to
+    profile = "WAN-1"          # a repro.traces profile …
+    n = 60000                  # heartbeats (default: scaled published count)
+    seed = 7                   # per-trace override
+    # … or a logged trace instead of a profile:
+    # file = "wan1.npz"        # .npz (HeartbeatTrace.save) or .csv
+
+    [[sweep]]
+    trace = "wan1"             # optional when only one trace is declared
+    detector = "chen"          # family, or spec string "chen:window=500"
+    name = "chen-w500"         # curve key (default: family name)
+    grid = [0.01, 0.1, 0.5]    # default: the family's registered grid
+    params = { window = 500 }  # fixed spec fields (bare-family form only)
+
+Every knob deliberately reuses an existing vocabulary: profiles are the
+calibrated Section V cases, ``detector`` strings parse through
+:func:`repro.detectors.registry.parse_spec`, grids default to each
+family's aggressive → conservative registry grid.
+"""
+
+from __future__ import annotations
+
+import time
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.detectors.registry import get as get_family
+from repro.errors import ConfigurationError
+from repro.exp.archive import archive_curves
+from repro.exp.executors import ProcessPoolExecutor, SerialExecutor
+from repro.exp.plan import ExperimentPlan, PlanResult
+from repro.traces import ALL_PROFILES, LAN_REFERENCE, HeartbeatTrace, synthesize
+
+__all__ = ["ExperimentConfig", "RunOutcome", "load_config", "run_config"]
+
+_PROFILES = {p.name: p for p in (*ALL_PROFILES, LAN_REFERENCE)}
+
+_RUN_KEYS = {"jobs", "output", "seed"}
+_TRACE_KEYS = {"name", "profile", "file", "n", "seed"}
+_SWEEP_KEYS = {"trace", "detector", "name", "grid", "params"}
+
+
+@dataclass
+class ExperimentConfig:
+    """A parsed experiment declaration, plan fully materialized."""
+
+    path: Path
+    plan: ExperimentPlan
+    jobs: int = 1
+    output: Path | None = None
+    seed: int = 2012
+    traces: list[dict[str, Any]] = field(default_factory=list)
+    sweeps: list[dict[str, Any]] = field(default_factory=list)
+
+
+@dataclass
+class RunOutcome:
+    """What one config run produced: curves, archive paths, timing."""
+
+    result: PlanResult
+    written: list[Path]
+    jobs: int
+    n_jobs: int
+    elapsed: float
+
+
+def _require_keys(table: Mapping[str, Any], allowed: set[str], where: str) -> None:
+    unknown = sorted(set(table) - allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"{where}: unknown key(s) {', '.join(unknown)}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+
+
+def _build_trace(entry: Mapping[str, Any], base: Path, default_seed: int, where: str):
+    _require_keys(entry, _TRACE_KEYS, where)
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(f"{where}: every trace needs a non-empty name")
+    has_profile = "profile" in entry
+    has_file = "file" in entry
+    if has_profile == has_file:
+        raise ConfigurationError(
+            f"{where} ({name!r}): give exactly one of profile= or file="
+        )
+    if has_file:
+        path = base / str(entry["file"])
+        if not path.exists():
+            raise ConfigurationError(f"{where} ({name!r}): no such trace file {path}")
+        if path.suffix == ".csv":
+            return name, HeartbeatTrace.from_csv(path, name=name)
+        return name, HeartbeatTrace.load(path)
+    profile_name = str(entry["profile"])
+    try:
+        profile = _PROFILES[profile_name]
+    except KeyError:
+        raise ConfigurationError(
+            f"{where} ({name!r}): unknown profile {profile_name!r}; "
+            f"choose from {', '.join(_PROFILES)}"
+        ) from None
+    if "n" in entry:
+        n = int(entry["n"])
+    else:
+        from repro.analysis.experiments import scaled_heartbeats
+
+        n = scaled_heartbeats(profile)
+    seed = int(entry.get("seed", default_seed))
+    return name, synthesize(profile, n=n, seed=seed)
+
+
+def _add_sweep(
+    plan: ExperimentPlan, entry: Mapping[str, Any], trace_names: list[str], where: str
+) -> dict[str, Any]:
+    _require_keys(entry, _SWEEP_KEYS, where)
+    detector = entry.get("detector")
+    if not isinstance(detector, str) or not detector.strip():
+        raise ConfigurationError(f"{where}: every sweep needs detector=")
+    trace = entry.get("trace")
+    if trace is None:
+        if len(trace_names) != 1:
+            raise ConfigurationError(
+                f"{where}: trace= is required when several traces are declared"
+            )
+        trace = trace_names[0]
+    grid = entry.get("grid")
+    if grid is not None:
+        if not isinstance(grid, list) or not all(
+            isinstance(v, (int, float)) for v in grid
+        ):
+            raise ConfigurationError(f"{where}: grid must be a list of numbers")
+        grid = [float(v) for v in grid]
+    params = entry.get("params", {})
+    if not isinstance(params, Mapping):
+        raise ConfigurationError(f"{where}: params must be a table")
+    family_name, _, spec_params = detector.partition(":")
+    family = get_family(family_name.strip())
+    name = entry.get("name", family.name)
+    if spec_params.strip():
+        if params:
+            raise ConfigurationError(
+                f"{where}: give parameters either in the detector spec string "
+                "or under params=, not both"
+            )
+        base = family.parse(spec_params)
+        plan.add_sweep(str(trace), family, grid, name=str(name), base=base)
+    else:
+        plan.add_sweep(str(trace), family, grid, name=str(name), **dict(params))
+    return {"trace": str(trace), "name": str(name), "detector": detector}
+
+
+def load_config(path: str | Path) -> ExperimentConfig:
+    """Parse one ``experiments.toml`` and materialize its plan.
+
+    Traces are synthesized/loaded eagerly, so errors surface at load time
+    with the config file named, not mid-run in a worker.
+    """
+    path = Path(path)
+    try:
+        with path.open("rb") as fh:
+            data = tomllib.load(fh)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read {path}: {exc}") from exc
+    except tomllib.TOMLDecodeError as exc:
+        raise ConfigurationError(f"{path}: invalid TOML: {exc}") from exc
+
+    run = data.get("run", {})
+    if not isinstance(run, Mapping):
+        raise ConfigurationError(f"{path}: [run] must be a table")
+    _require_keys(run, _RUN_KEYS, f"{path}: [run]")
+    seed = int(run.get("seed", 2012))
+    jobs = int(run.get("jobs", 1))
+    if jobs < 0:
+        raise ConfigurationError(f"{path}: [run] jobs must be >= 0")
+    output = run.get("output")
+
+    traces = data.get("trace", [])
+    sweeps = data.get("sweep", [])
+    if not isinstance(traces, list) or not traces:
+        raise ConfigurationError(f"{path}: declare at least one [[trace]]")
+    if not isinstance(sweeps, list) or not sweeps:
+        raise ConfigurationError(f"{path}: declare at least one [[sweep]]")
+
+    plan = ExperimentPlan()
+    trace_meta: list[dict[str, Any]] = []
+    for i, entry in enumerate(traces):
+        where = f"{path}: [[trace]] #{i + 1}"
+        name, trace = _build_trace(entry, path.parent, seed, where)
+        plan.add_trace(name, trace)
+        trace_meta.append(
+            {
+                "name": name,
+                "source": entry.get("profile", entry.get("file")),
+                "heartbeats": trace.total_sent,
+            }
+        )
+    trace_names = [t["name"] for t in trace_meta]
+    sweep_meta = [
+        _add_sweep(plan, entry, trace_names, f"{path}: [[sweep]] #{i + 1}")
+        for i, entry in enumerate(sweeps)
+    ]
+    return ExperimentConfig(
+        path=path,
+        plan=plan,
+        jobs=jobs,
+        output=(path.parent / output) if output else None,
+        seed=seed,
+        traces=trace_meta,
+        sweeps=sweep_meta,
+    )
+
+
+def run_config(
+    config: ExperimentConfig,
+    *,
+    jobs: int | None = None,
+    output: str | Path | None = None,
+    archive: bool = True,
+) -> RunOutcome:
+    """Execute a loaded config and archive its curves.
+
+    ``jobs``/``output`` override the config's ``[run]`` table (the CLI
+    flags).  ``jobs <= 1`` runs serially; anything larger fans out via
+    :class:`~repro.exp.executors.ProcessPoolExecutor` (``0`` = every
+    core).  Curves land under ``output`` (default: ``<config stem>_curves``
+    next to the config file) unless ``archive=False``.
+    """
+    n = config.jobs if jobs is None else int(jobs)
+    executor = ProcessPoolExecutor(jobs=n) if n != 1 else SerialExecutor()
+    t0 = time.perf_counter()
+    result = config.plan.run(executor)
+    elapsed = time.perf_counter() - t0
+    effective = getattr(executor, "jobs", 1)
+    written: list[Path] = []
+    if archive:
+        directory = (
+            Path(output)
+            if output is not None
+            else (config.output or config.path.parent / f"{config.path.stem}_curves")
+        )
+        written = archive_curves(
+            result.curves,
+            directory,
+            meta={
+                "config": str(config.path),
+                "seed": config.seed,
+                "jobs": effective,
+                "replays": len(config.plan),
+                "wall_s": elapsed,
+                "traces": config.traces,
+                "sweeps": config.sweeps,
+            },
+        )
+    return RunOutcome(
+        result=result,
+        written=written,
+        jobs=effective,
+        n_jobs=len(config.plan),
+        elapsed=elapsed,
+    )

@@ -1,0 +1,172 @@
+"""Pluggable executors: run a plan's jobs serially or across processes.
+
+The contract is tiny: ``run(jobs, views, instruments=None)`` takes the
+flat :class:`~repro.exp.plan.ReplayJob` list plus the plan's named
+:class:`~repro.traces.trace.MonitorView`\\ s and returns ``{job.index:
+QoSReport}``.  Completion order is irrelevant — the plan reassembles
+curves by index — so :class:`ProcessPoolExecutor` is free to fan jobs out
+across every core.
+
+Process fan-out uses the ``fork`` start method where available (Linux,
+the benchmark environment): the parent installs the view table in a
+module global *before* forking, so multi-million-sample arrival arrays
+are shared copy-on-write with zero serialization.  On platforms without
+``fork`` the views travel by pickle instead (both
+:class:`~repro.traces.trace.MonitorView` and every registry spec are
+picklable; specs round-trip through ``to_dict``/``from_dict``).
+
+A failing job never hangs the pool: the worker catches everything and
+ships the traceback home, where it is raised as :class:`JobFailedError`
+carrying the offending job's spec.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent import futures
+from typing import Mapping
+
+from repro.errors import ReproError
+from repro.exp.plan import ReplayJob
+from repro.qos.spec import QoSReport
+from repro.replay.engine import replay
+from repro.traces.trace import MonitorView
+
+__all__ = ["JobFailedError", "SerialExecutor", "ProcessPoolExecutor", "default_jobs"]
+
+
+class JobFailedError(ReproError, RuntimeError):
+    """One replay job raised; carries the job (spec included) + traceback."""
+
+    def __init__(self, job: ReplayJob, tb: str):
+        super().__init__(f"{job.describe()} failed:\n{tb.rstrip()}")
+        self.job = job
+        self.traceback = tb
+
+
+def default_jobs() -> int:
+    """Worker count used when none is given: every available core."""
+    return os.cpu_count() or 1
+
+
+def _execute(job: ReplayJob, view: MonitorView, instruments=None) -> QoSReport:
+    """The one shared job body — both executors produce identical numbers."""
+    return replay(job.spec, view, instruments=instruments).qos
+
+
+class SerialExecutor:
+    """Run jobs in order, in-process.
+
+    The reference executor: zero overhead, deterministic, and the only
+    one that can thread a live :class:`repro.obs.Instruments` bundle
+    through every replay.
+    """
+
+    def run(
+        self,
+        jobs: list[ReplayJob],
+        views: Mapping[str, MonitorView],
+        *,
+        instruments=None,
+    ) -> dict[int, QoSReport]:
+        out: dict[int, QoSReport] = {}
+        for job in jobs:
+            try:
+                out[job.index] = _execute(job, views[job.trace], instruments)
+            except Exception:
+                raise JobFailedError(job, traceback.format_exc()) from None
+        return out
+
+
+# ------------------------------------------------------------------ #
+# process fan-out
+# ------------------------------------------------------------------ #
+
+#: View table visible to forked workers (set in the parent pre-fork, so
+#: children inherit the arrays copy-on-write — no pickling, no copies).
+_WORKER_VIEWS: Mapping[str, MonitorView] | None = None
+
+
+def _init_worker(views: Mapping[str, MonitorView]) -> None:
+    global _WORKER_VIEWS
+    _WORKER_VIEWS = views
+
+
+def _run_job(job: ReplayJob):
+    """Worker body: never raises — failures travel home as tracebacks."""
+    try:
+        views = _WORKER_VIEWS
+        if views is None:  # pragma: no cover - initializer always runs
+            raise RuntimeError("worker started without a view table")
+        return job.index, _execute(job, views[job.trace]), None
+    except BaseException:
+        return job.index, None, traceback.format_exc()
+
+
+class ProcessPoolExecutor:
+    """Fan jobs out across worker processes (one replay per worker task).
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; ``None``/``0`` means every available core.  ``1``
+        degrades gracefully to in-process serial execution (no pool).
+
+    Notes
+    -----
+    * Results are keyed by job index, so curves reassemble in sweep
+      order no matter which worker finishes first — parallel output is
+      bit-identical to :class:`SerialExecutor`.
+    * ``instruments`` is accepted for interface parity but not threaded
+      into workers (per-process registries cannot be merged); pass an
+      instruments bundle to :class:`SerialExecutor` instead.
+    * The first failing job cancels all pending work and surfaces as
+      :class:`JobFailedError` with the worker's full traceback.
+    """
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = int(jobs) if jobs else default_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+
+    def run(
+        self,
+        jobs: list[ReplayJob],
+        views: Mapping[str, MonitorView],
+        *,
+        instruments=None,
+    ) -> dict[int, QoSReport]:
+        if self.jobs == 1 or len(jobs) <= 1:
+            return SerialExecutor().run(jobs, views, instruments=instruments)
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context()
+        global _WORKER_VIEWS
+        previous = _WORKER_VIEWS
+        _WORKER_VIEWS = views  # pre-fork: children inherit CoW
+        try:
+            with futures.ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(jobs)),
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(views,),
+            ) as pool:
+                pending = {pool.submit(_run_job, job): job for job in jobs}
+                out: dict[int, QoSReport] = {}
+                try:
+                    for fut in futures.as_completed(pending):
+                        index, qos, tb = fut.result()
+                        if tb is not None:
+                            raise JobFailedError(pending[fut], tb)
+                        out[index] = qos
+                except JobFailedError:
+                    for fut in pending:
+                        fut.cancel()
+                    raise
+                return out
+        finally:
+            _WORKER_VIEWS = previous

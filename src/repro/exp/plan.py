@@ -1,0 +1,298 @@
+"""Experiment plans: (trace × family × grid) declarations → flat job lists.
+
+Section V's evaluation is one embarrassingly-parallel job: replay the same
+trace "from a highly aggressive behavior to a very conservative one"
+through every detector family under identical conditions.  The unit of
+work is therefore *one replay of one spec over one view*, and this module
+makes that unit explicit:
+
+* an :class:`ExperimentPlan` collects named traces and sweep declarations
+  (family + grid + fixed parameters, exactly the vocabulary of
+  :func:`repro.analysis.sweep.sweep_curve`),
+* :meth:`ExperimentPlan.jobs` expands the declarations into a flat,
+  deterministically ordered list of :class:`ReplayJob`\\ s — each carrying
+  a frozen, *picklable* replay spec (specs round-trip through
+  ``Spec.to_dict``/``from_dict`` when crossing process boundaries),
+* :meth:`ExperimentPlan.run` hands the jobs to a pluggable executor
+  (:class:`~repro.exp.executors.SerialExecutor` by default,
+  :class:`~repro.exp.executors.ProcessPoolExecutor` for fan-out) and
+  reassembles the per-point QoS reports into
+  :class:`~repro.qos.area.QoSCurve`\\ s **in sweep order**, regardless of
+  completion order — which is what keeps figure outputs bit-identical
+  between serial and parallel runs.
+
+The separation of detection logic from the execution/aggregation layer
+follows Dobre et al.'s architecture argument; the config-file front end
+lives in :mod:`repro.exp.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence, Union
+
+from repro.detectors.registry import DetectorFamily, get as get_family
+from repro.errors import ConfigurationError
+from repro.qos.area import QoSCurve
+from repro.qos.spec import QoSReport
+from repro.traces.trace import HeartbeatTrace, MonitorView
+
+__all__ = ["ReplayJob", "SweepDecl", "ExperimentPlan", "PlanResult"]
+
+
+@dataclass(frozen=True)
+class ReplayJob:
+    """One replay of one spec over one named view — the unit of work.
+
+    Jobs are picklable (the spec pickles through its
+    ``to_dict``/``from_dict`` round-trip), carry their position in the
+    plan expansion (``index``), and know which curve point they produce
+    (``trace``/``sweep``/``parameter``) so executors may run them in any
+    order and the plan can still reassemble curves deterministically.
+    """
+
+    index: int
+    trace: str
+    sweep: str
+    family: str
+    parameter: float
+    spec: Any
+
+    def describe(self) -> str:
+        """Human-oriented job label for logs and failure reports."""
+        try:
+            from repro.detectors.registry import spec_string
+
+            text = spec_string(self.spec)
+        except Exception:
+            text = repr(self.spec)
+        return f"job[{self.index}] trace={self.trace!r} sweep={self.sweep!r} {text}"
+
+
+@dataclass(frozen=True)
+class SweepDecl:
+    """One declared sweep: a family swept over a grid on one trace."""
+
+    trace: str
+    name: str
+    family: str
+    grid: tuple[float, ...]
+    params: Mapping[str, Any] = field(default_factory=dict)
+    base: Any = None  # optional spec template (config-file path)
+    descriptor: DetectorFamily | None = None  # resolved family (spec building)
+
+
+class ExperimentPlan:
+    """Declarative (trace × family × grid) experiment, executor-agnostic.
+
+    Usage::
+
+        plan = ExperimentPlan()
+        plan.add_trace("wan1", trace_or_view)
+        plan.add_sweep("wan1", "chen", alphas, window=1000)
+        plan.add_sweep("wan1", "sfd", sm1_list, requirements=req)
+        result = plan.run(ProcessPoolExecutor(jobs=4))
+        curve = result.curve("wan1", "chen")
+
+    Declaration order is preserved everywhere: :meth:`jobs` expands
+    sweeps in the order they were added and grids in the order given, and
+    :class:`PlanResult` keeps that order in its curves.
+    """
+
+    def __init__(self) -> None:
+        self._views: dict[str, MonitorView] = {}
+        self._sweeps: list[SweepDecl] = []
+
+    # -- declaration ---------------------------------------------------- #
+
+    def add_trace(
+        self, name: str, source: Union[MonitorView, HeartbeatTrace]
+    ) -> "ExperimentPlan":
+        """Register a named monitor view (or trace, reduced to its view)."""
+        if not name:
+            raise ConfigurationError("trace name must be non-empty")
+        if name in self._views:
+            raise ConfigurationError(f"trace {name!r} already declared")
+        view = source.monitor_view() if isinstance(source, HeartbeatTrace) else source
+        if not isinstance(view, MonitorView):
+            raise ConfigurationError(
+                f"trace {name!r}: cannot replay over {type(source).__name__}"
+            )
+        self._views[name] = view
+        return self
+
+    def add_sweep(
+        self,
+        trace: str,
+        family: Union[str, DetectorFamily],
+        grid: Sequence[float] | None = None,
+        *,
+        name: str | None = None,
+        base: Any = None,
+        **params: Any,
+    ) -> "ExperimentPlan":
+        """Declare one sweep over an already-declared trace.
+
+        Parameters mirror :func:`repro.analysis.sweep.sweep_curve`:
+        ``grid`` defaults to the family's registered aggressive →
+        conservative grid, ``**params`` are fixed spec fields applied to
+        every point.  ``name`` keys the resulting curve (default: the
+        family name — declare distinct names to sweep one family twice
+        on the same trace).  ``base`` optionally gives a full spec
+        template instead of ``**params`` (the config-file path: the
+        sweep parameter is overridden per grid point via the spec's
+        dict round-trip).
+        """
+        fam = get_family(family) if isinstance(family, str) else family
+        if trace not in self._views:
+            raise ConfigurationError(
+                f"sweep over undeclared trace {trace!r}; "
+                f"declared: {', '.join(self._views) or '(none)'}"
+            )
+        if base is not None and params:
+            raise ConfigurationError(
+                "give either a base spec or **params, not both"
+            )
+        key = name if name is not None else fam.name
+        if any(s.trace == trace and s.name == key for s in self._sweeps):
+            raise ConfigurationError(
+                f"sweep {key!r} already declared for trace {trace!r} "
+                "(pass name= to distinguish)"
+            )
+        values = fam.default_grid if grid is None else tuple(float(v) for v in grid)
+        self._sweeps.append(
+            SweepDecl(
+                trace=trace,
+                name=key,
+                family=fam.name,
+                grid=values,
+                params=dict(params),
+                base=base,
+                descriptor=fam,
+            )
+        )
+        return self
+
+    # -- introspection -------------------------------------------------- #
+
+    @property
+    def views(self) -> Mapping[str, MonitorView]:
+        return dict(self._views)
+
+    @property
+    def sweeps(self) -> tuple[SweepDecl, ...]:
+        return tuple(self._sweeps)
+
+    def __len__(self) -> int:
+        """Total number of replay jobs the plan expands to."""
+        return sum(len(s.grid) for s in self._sweeps)
+
+    # -- expansion ------------------------------------------------------ #
+
+    def _point_spec(self, decl: SweepDecl, value: float):
+        fam = decl.descriptor if decl.descriptor is not None else get_family(decl.family)
+        if decl.base is not None:
+            if fam.sweep_param is None:
+                return decl.base
+            data = decl.base.to_dict()
+            data[fam.sweep_param] = value
+            return fam.spec_from_dict(data)
+        return fam.grid_spec(value, **decl.params)
+
+    def jobs(self) -> list[ReplayJob]:
+        """Expand every declaration into the flat deterministic job list."""
+        out: list[ReplayJob] = []
+        for decl in self._sweeps:
+            for value in decl.grid:
+                out.append(
+                    ReplayJob(
+                        index=len(out),
+                        trace=decl.trace,
+                        sweep=decl.name,
+                        family=decl.family,
+                        parameter=float(value),
+                        spec=self._point_spec(decl, float(value)),
+                    )
+                )
+        return out
+
+    # -- execution ------------------------------------------------------ #
+
+    def run(self, executor=None, *, instruments=None) -> "PlanResult":
+        """Execute every job and reassemble curves in sweep order.
+
+        ``executor`` defaults to a fresh
+        :class:`~repro.exp.executors.SerialExecutor`; any object with
+        ``run(jobs, views, instruments=None) -> Mapping[int, QoSReport]``
+        works.  Reassembly is by job index, so executors are free to
+        complete jobs in any order.
+        """
+        if executor is None:
+            from repro.exp.executors import SerialExecutor
+
+            executor = SerialExecutor()
+        if not self._sweeps:
+            raise ConfigurationError("plan declares no sweeps")
+        jobs = self.jobs()
+        reports = executor.run(jobs, self.views, instruments=instruments)
+        missing = [j.index for j in jobs if j.index not in reports]
+        if missing:
+            raise ConfigurationError(
+                f"executor returned no result for jobs {missing[:5]}"
+                + ("…" if len(missing) > 5 else "")
+            )
+        curves: dict[str, dict[str, QoSCurve]] = {}
+        cursor = 0
+        for decl in self._sweeps:
+            curve = QoSCurve(decl.family)
+            for value in decl.grid:
+                curve.add(float(value), reports[cursor])
+                cursor += 1
+            curves.setdefault(decl.trace, {})[decl.name] = curve
+        return PlanResult(curves=curves)
+
+
+@dataclass
+class PlanResult:
+    """Curves of one executed plan, keyed ``trace → sweep name``."""
+
+    curves: dict[str, dict[str, QoSCurve]]
+
+    def curve(self, trace: str, name: str | None = None) -> QoSCurve:
+        """One curve; ``name`` may be omitted when the trace has one sweep."""
+        try:
+            per_trace = self.curves[trace]
+        except KeyError:
+            raise ConfigurationError(
+                f"no curves for trace {trace!r}; have {', '.join(self.curves)}"
+            ) from None
+        if name is None:
+            if len(per_trace) != 1:
+                raise ConfigurationError(
+                    f"trace {trace!r} has {len(per_trace)} curves; name one of "
+                    f"{', '.join(per_trace)}"
+                )
+            return next(iter(per_trace.values()))
+        try:
+            return per_trace[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no curve {name!r} for trace {trace!r}; have {', '.join(per_trace)}"
+            ) from None
+
+    def trace_curves(self, trace: str) -> dict[str, QoSCurve]:
+        """All curves of one trace, declaration order (for figure renders)."""
+        if trace not in self.curves:
+            raise ConfigurationError(
+                f"no curves for trace {trace!r}; have {', '.join(self.curves)}"
+            )
+        return dict(self.curves[trace])
+
+    def items(self) -> Iterable[tuple[str, str, QoSCurve]]:
+        """Flat ``(trace, name, curve)`` iteration, declaration order."""
+        for trace, per_trace in self.curves.items():
+            for name, curve in per_trace.items():
+                yield trace, name, curve
+
+    def __len__(self) -> int:
+        return sum(len(per_trace) for per_trace in self.curves.values())

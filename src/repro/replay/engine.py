@@ -46,6 +46,11 @@ __all__ = [
 ]
 
 
+def _spec_from_state(cls: type, data: Mapping[str, Any]):
+    """Pickle entry point: rebuild a spec through its own ``from_dict``."""
+    return cls.from_dict(data)
+
+
 class ReplaySpec:
     """Dict round-tripping shared by every replay spec.
 
@@ -53,11 +58,19 @@ class ReplaySpec:
     ``from_dict`` inverts it (``from_dict(to_dict(s)) == s``), which is
     what configs, archives, and the registry's spec strings build on.
     Families with nested configuration (SFD) override both.
+
+    Pickling routes through the same round-trip (``__reduce__`` below), so
+    every spec crosses process boundaries — the parallel sweep executor's
+    requirement — regardless of the ``slots=True`` dataclass pickling
+    quirks across Python versions.
     """
 
     __slots__ = ()
 
     detector = "abstract"
+
+    def __reduce__(self):
+        return (_spec_from_state, (type(self), self.to_dict()))
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {"detector": self.detector}

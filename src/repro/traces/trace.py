@@ -53,6 +53,16 @@ class MonitorView:
     def __len__(self) -> int:
         return int(self.seq.size)
 
+    def __reduce__(self):
+        # Explicit so views pickle identically on every supported Python
+        # (frozen slotted dataclasses only gained default pickling support
+        # in 3.11); the parallel sweep executor ships views to spawned
+        # workers on platforms without fork.
+        return (
+            MonitorView,
+            (self.seq, self.arrivals, self.send_times, self.dropped_stale),
+        )
+
 
 @dataclass
 class HeartbeatTrace:

@@ -120,3 +120,33 @@ class TestCLI:
     def test_bad_detector_spec_exits(self, capsys):
         with pytest.raises(SystemExit, match="bad --detector"):
             main(["live", "--detector", "nosuch:alpha=1"])
+
+    def test_run_config(self, capsys, tmp_path):
+        config = tmp_path / "exp.toml"
+        config.write_text(
+            "[[trace]]\n"
+            'name = "wan1"\n'
+            'profile = "WAN-1"\n'
+            "n = 2000\n"
+            "[[sweep]]\n"
+            'detector = "chen"\n'
+            "grid = [0.1, 0.5]\n"
+            "params = { window = 100 }\n"
+        )
+        out = run_cli(
+            capsys, "run", str(config), "--output", str(tmp_path / "curves")
+        )
+        assert "2 replay jobs" in out
+        assert "detector: chen" in out
+        assert "ran 2 replay jobs" in out and "serial" in out
+        assert "CURVE_wan1_chen.json" in out and "manifest.json" in out
+        assert (tmp_path / "curves" / "CURVE_wan1_chen.json").exists()
+
+    def test_run_bad_config_exits(self, tmp_path):
+        config = tmp_path / "exp.toml"
+        config.write_text(
+            "[[trace]]\nname = 'a'\nprofile = 'WAN-99'\n"
+            "[[sweep]]\ndetector = 'chen'\n"
+        )
+        with pytest.raises(SystemExit, match="unknown profile"):
+            main(["run", str(config)])

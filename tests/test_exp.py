@@ -1,0 +1,352 @@
+"""The experiment engine: plans, executors, archiving, config runs.
+
+The load-bearing guarantees tested here:
+
+* plan expansion is deterministic (declaration order × grid order),
+* :class:`SerialExecutor` and :class:`ProcessPoolExecutor` produce
+  **bit-identical** curves for the same plan (the figure-reproducibility
+  contract),
+* a failing job surfaces as :class:`JobFailedError` carrying the
+  offending spec and the worker traceback instead of hanging the pool,
+* every registry spec and :class:`MonitorView` survive pickling (the
+  process-fan-out prerequisite), and
+* curve archives and TOML configs round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.detectors import registry
+from repro.errors import ConfigurationError
+from repro.exp import (
+    ExperimentPlan,
+    JobFailedError,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    archive_curves,
+    load_config,
+    load_curve,
+    run_config,
+)
+from repro.exp.archive import curve_from_dict, curve_to_dict
+from repro.qos.area import QoSCurve
+from repro.qos.spec import QoSReport, QoSRequirements
+from repro.replay import ChenSpec
+from repro.traces.trace import MonitorView
+
+from conftest import jittered_trace
+
+REQ = QoSRequirements(
+    max_detection_time=0.8, max_mistake_rate=0.3, min_query_accuracy=0.98
+)
+
+
+def small_plan(view) -> ExperimentPlan:
+    """A multi-family plan small enough for the process-pool tests."""
+    plan = ExperimentPlan().add_trace("t", view)
+    plan.add_sweep("t", "chen", (0.05, 0.2, 0.5), window=100)
+    plan.add_sweep("t", "phi", (1.0, 4.0), window=100)
+    plan.add_sweep("t", "bertier", window=100)
+    plan.add_sweep("t", "sfd", (0.01, 0.1), requirements=REQ, window=100)
+    return plan
+
+
+class TestPlanMechanics:
+    def test_len_and_job_expansion_order(self, small_view):
+        plan = small_plan(small_view)
+        jobs = plan.jobs()
+        assert len(plan) == len(jobs) == 8
+        assert [j.index for j in jobs] == list(range(8))
+        assert [j.sweep for j in jobs] == (
+            ["chen"] * 3 + ["phi"] * 2 + ["bertier"] + ["sfd"] * 2
+        )
+        assert [j.parameter for j in jobs[:3]] == [0.05, 0.2, 0.5]
+        # Fixed params land in every point's spec.
+        assert all(j.spec.window == 100 for j in jobs)
+
+    def test_grid_defaults_to_registry_grid(self, small_view):
+        plan = ExperimentPlan().add_trace("t", small_view)
+        plan.add_sweep("t", "chen", window=100)
+        assert len(plan) == len(registry.get("chen").default_grid)
+
+    def test_duplicate_trace_rejected(self, small_view):
+        plan = ExperimentPlan().add_trace("t", small_view)
+        with pytest.raises(ConfigurationError, match="already declared"):
+            plan.add_trace("t", small_view)
+
+    def test_sweep_over_undeclared_trace_rejected(self, small_view):
+        plan = ExperimentPlan()
+        with pytest.raises(ConfigurationError, match="undeclared trace"):
+            plan.add_sweep("nope", "chen", (0.1,))
+
+    def test_duplicate_sweep_name_rejected(self, small_view):
+        plan = ExperimentPlan().add_trace("t", small_view)
+        plan.add_sweep("t", "chen", (0.1,), window=100)
+        with pytest.raises(ConfigurationError, match="name="):
+            plan.add_sweep("t", "chen", (0.5,), window=100)
+        # Distinct names allow sweeping one family twice.
+        plan.add_sweep("t", "chen", (0.5,), name="chen-2", window=100)
+        assert len(plan) == 2
+
+    def test_base_and_params_conflict(self, small_view):
+        plan = ExperimentPlan().add_trace("t", small_view)
+        base = ChenSpec(alpha=0.1, window=100)
+        with pytest.raises(ConfigurationError, match="not both"):
+            plan.add_sweep("t", "chen", (0.1,), base=base, window=200)
+
+    def test_base_spec_sweeps_its_parameter(self, small_view):
+        plan = ExperimentPlan().add_trace("t", small_view)
+        base = ChenSpec(alpha=0.9, window=123)
+        plan.add_sweep("t", "chen", (0.05, 0.4), base=base)
+        specs = [j.spec for j in plan.jobs()]
+        assert [s.alpha for s in specs] == [0.05, 0.4]
+        assert all(s.window == 123 for s in specs)
+
+    def test_run_without_sweeps_rejected(self, small_view):
+        plan = ExperimentPlan().add_trace("t", small_view)
+        with pytest.raises(ConfigurationError, match="no sweeps"):
+            plan.run()
+
+    def test_result_accessors(self, small_view):
+        result = small_plan(small_view).run()
+        assert len(result) == 4
+        assert set(result.trace_curves("t")) == {"chen", "phi", "bertier", "sfd"}
+        assert result.curve("t", "chen").detector == "chen"
+        with pytest.raises(ConfigurationError, match="4 curves"):
+            result.curve("t")  # ambiguous without a name
+        with pytest.raises(ConfigurationError, match="no curves"):
+            result.curve("other")
+        one = ExperimentPlan().add_trace("t", small_view)
+        one.add_sweep("t", "chen", (0.1,), window=100)
+        assert one.run().curve("t").detector == "chen"
+
+    def test_matches_sweep_curve(self, small_view):
+        from repro.analysis import sweep_curve
+
+        direct = sweep_curve("chen", small_view, (0.05, 0.2), window=100)
+        plan = ExperimentPlan().add_trace("t", small_view)
+        plan.add_sweep("t", "chen", (0.05, 0.2), window=100)
+        assert plan.run().curve("t", "chen") == direct
+
+
+class TestPicklability:
+    """Process fan-out prerequisite: specs and views cross process lines."""
+
+    @pytest.mark.parametrize("name", registry.names())
+    def test_registry_specs_round_trip(self, name):
+        spec = registry.get(name).parse("")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert type(clone) is type(spec)
+        # The pickle path routes through to_dict/from_dict, so the two
+        # serializations must agree.
+        assert clone.to_dict() == spec.to_dict()
+
+    def test_monitor_view_round_trips(self, small_view):
+        clone = pickle.loads(pickle.dumps(small_view))
+        assert isinstance(clone, MonitorView)
+        np.testing.assert_array_equal(clone.seq, small_view.seq)
+        np.testing.assert_array_equal(clone.arrivals, small_view.arrivals)
+        np.testing.assert_array_equal(clone.send_times, small_view.send_times)
+        assert clone.dropped_stale == small_view.dropped_stale
+
+    def test_jobs_round_trip(self, small_view):
+        for job in small_plan(small_view).jobs():
+            clone = pickle.loads(pickle.dumps(job))
+            assert clone == job
+
+
+class TestExecutors:
+    def test_serial_and_parallel_curves_bit_identical(self, small_view):
+        plan = small_plan(small_view)
+        serial = plan.run(SerialExecutor())
+        parallel = plan.run(ProcessPoolExecutor(jobs=4))
+        # Dataclass equality over every float of every QoS report: the
+        # curves must match bit for bit, not approximately.
+        assert serial.curves == parallel.curves
+
+    def test_parallel_jobs_one_degrades_to_serial(self, small_view):
+        plan = small_plan(small_view)
+        assert plan.run(ProcessPoolExecutor(jobs=1)).curves == plan.run().curves
+
+    def test_invalid_worker_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolExecutor(jobs=-2)
+        assert ProcessPoolExecutor(jobs=0).jobs >= 1  # 0 → every core
+
+    @pytest.mark.parametrize(
+        "executor", [SerialExecutor(), ProcessPoolExecutor(jobs=2)]
+    )
+    def test_failing_job_surfaces_spec_and_traceback(self, small_view, executor):
+        # window far beyond the view length fails inside the replay
+        # kernel — i.e. inside the worker process for the pool executor.
+        plan = ExperimentPlan().add_trace("t", small_view)
+        plan.add_sweep(
+            "t", "chen", (0.1, 0.5), base=ChenSpec(alpha=0.1, window=10_000_000)
+        )
+        with pytest.raises(JobFailedError) as err:
+            plan.run(executor)
+        e = err.value
+        assert e.job.spec.window == 10_000_000
+        assert "ConfigurationError" in e.traceback
+        # The message names the job (trace, sweep, spec) and the cause.
+        assert "trace='t'" in str(e) and "chen" in str(e)
+        assert "heartbeats" in str(e)
+
+
+class TestArchive:
+    def test_curve_round_trip_including_non_finite(self, tmp_path):
+        curve = QoSCurve("phi")
+        curve.add(
+            1.0,
+            QoSReport(
+                detection_time=0.123456789,
+                mistake_rate=0.25,
+                query_accuracy=0.875,
+                mistakes=3,
+                mistake_time=1.5,
+                accounted_time=12.0,
+                samples=100,
+            ),
+        )
+        curve.add(
+            16.0,
+            QoSReport(
+                detection_time=math.inf,
+                mistake_rate=0.0,
+                query_accuracy=1.0,
+                mistakes=0,
+                mistake_time=0.0,
+                accounted_time=12.0,
+                samples=100,
+            ),
+        )
+        curve.add(
+            32.0,
+            QoSReport(
+                detection_time=math.nan, mistake_rate=0.0, query_accuracy=1.0
+            ),
+        )
+        clone = curve_from_dict(curve_to_dict(curve))
+        assert clone.points[0] == curve.points[0]
+        assert math.isinf(clone.points[1].qos.detection_time)
+        assert math.isnan(clone.points[2].qos.detection_time)
+
+        written = archive_curves({"t": {"phi": curve}}, tmp_path)
+        assert [p.name for p in written] == ["CURVE_t_phi.json", "manifest.json"]
+        loaded = load_curve(tmp_path / "CURVE_t_phi.json")
+        assert loaded.points[0] == curve.points[0]
+
+    def test_archived_plan_result_reloads_exactly(self, small_view, tmp_path):
+        result = small_plan(small_view).run()
+        archive_curves(result.curves, tmp_path, meta={"seed": 5})
+        for trace, name, curve in result.items():
+            assert load_curve(tmp_path / f"CURVE_{trace}_{name}.json") == curve
+
+
+def write_config(tmp_path, body: str):
+    path = tmp_path / "experiments.toml"
+    path.write_text(body)
+    return path
+
+
+GOOD_CONFIG = """
+[run]
+jobs = 1
+seed = 3
+output = "curves"
+
+[[trace]]
+name = "wan1"
+profile = "WAN-1"
+n = 2000
+
+[[sweep]]
+detector = "chen"
+grid = [0.1, 0.5]
+params = { window = 100 }
+
+[[sweep]]
+detector = "sfd:td=0.9,mr=0.35,qap=0.99,slot=100,window=100"
+name = "sfd"
+grid = [0.05, 0.2]
+"""
+
+
+class TestConfig:
+    def test_load_and_run(self, tmp_path):
+        config = load_config(write_config(tmp_path, GOOD_CONFIG))
+        assert config.jobs == 1 and config.seed == 3
+        assert len(config.plan) == 4
+        assert [s["name"] for s in config.sweeps] == ["chen", "sfd"]
+        outcome = run_config(config)
+        assert outcome.n_jobs == 4 and outcome.jobs == 1
+        curves = outcome.result.trace_curves("wan1")
+        assert set(curves) == {"chen", "sfd"}
+        archive = tmp_path / "curves"
+        assert (archive / "manifest.json").exists()
+        for name, curve in curves.items():
+            assert load_curve(archive / f"CURVE_wan1_{name}.json") == curve
+
+    def test_trace_from_file(self, tmp_path):
+        trace = jittered_trace(n=2000, seed=7)
+        trace.save(tmp_path / "logged.npz")
+        config = load_config(
+            write_config(
+                tmp_path,
+                """
+[[trace]]
+name = "logged"
+file = "logged.npz"
+
+[[sweep]]
+detector = "chen"
+grid = [0.1]
+params = { window = 100 }
+""",
+            )
+        )
+        outcome = run_config(config, archive=False)
+        assert outcome.written == []
+        assert len(outcome.result.curve("logged", "chen")) == 1
+
+    @pytest.mark.parametrize(
+        "body, match",
+        [
+            ("[run]\nworkers = 2\n", "unknown key"),
+            ("[[trace]]\nname = 'a'\nprofile = 'WAN-1'\n", "at least one"),
+            (
+                "[[trace]]\nname = 'a'\nprofile = 'WAN-1'\nfile = 'x.npz'\n"
+                "[[sweep]]\ndetector = 'chen'\n",
+                "exactly one",
+            ),
+            (
+                "[[trace]]\nname = 'a'\nprofile = 'WAN-99'\n"
+                "[[sweep]]\ndetector = 'chen'\n",
+                "unknown profile",
+            ),
+            (
+                "[[trace]]\nname = 'a'\nprofile = 'WAN-1'\nn = 2000\n"
+                "[[sweep]]\ndetector = 'chen'\ntrace = 'other'\n",
+                "undeclared trace",
+            ),
+            (
+                "[[trace]]\nname = 'a'\nprofile = 'WAN-1'\nn = 2000\n"
+                "[[sweep]]\ndetector = 'chen:window=50'\n"
+                "params = { window = 100 }\n",
+                "not both",
+            ),
+        ],
+    )
+    def test_bad_configs_rejected(self, tmp_path, body, match):
+        with pytest.raises(ConfigurationError, match=match):
+            load_config(write_config(tmp_path, body))
+
+    def test_missing_file_names_the_config(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_config(tmp_path / "absent.toml")

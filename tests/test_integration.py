@@ -138,13 +138,13 @@ class TestScaleInvariance:
     def test_curve_shape_stable_across_trace_length(self):
         """Scaling the trace down must preserve the curve shape (the
         DESIGN.md scaling argument)."""
-        from repro.analysis import chen_curve
+        from repro.analysis import sweep_curve
 
         alphas = [0.02, 0.1, 0.4]
         small = synthesize(WAN_JAIST, n=12_000, seed=10).monitor_view()
         large = synthesize(WAN_JAIST, n=36_000, seed=10).monitor_view()
-        c_small = chen_curve(small, alphas, window=300)
-        c_large = chen_curve(large, alphas, window=300)
+        c_small = sweep_curve("chen", small, alphas, window=300)
+        c_large = sweep_curve("chen", large, alphas, window=300)
         td_s = c_small.detection_times()
         td_l = c_large.detection_times()
         np.testing.assert_allclose(td_s, td_l, rtol=0.15)
