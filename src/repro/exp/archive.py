@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -22,6 +23,7 @@ from repro.qos.area import QoSCurve
 from repro.qos.spec import QoSReport
 
 __all__ = [
+    "check_archive_name",
     "qos_to_dict",
     "qos_from_dict",
     "curve_to_dict",
@@ -31,6 +33,23 @@ __all__ = [
 ]
 
 _FORMAT = 1
+
+#: Characters allowed in trace/sweep names that become archive filenames.
+#: Anything else (path separators, '..', spaces …) is rejected — names
+#: come from user-controlled TOML and must not escape the archive
+#: directory.  :meth:`repro.exp.plan.ExperimentPlan.add_trace` and
+#: ``add_sweep`` enforce the same rule at declaration time.
+SAFE_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def check_archive_name(name: str, what: str) -> str:
+    """Validate one trace/sweep name destined for an archive filename."""
+    if not SAFE_NAME.fullmatch(name):
+        raise ConfigurationError(
+            f"{what} {name!r} is not archive-safe: use letters, digits, "
+            "'.', '_' or '-' (must start with a letter or digit)"
+        )
+    return name
 
 
 def _enc(value: float) -> float | str:
@@ -92,7 +111,7 @@ def curve_from_dict(data: Mapping[str, Any]) -> QoSCurve:
         curve = QoSCurve(str(data["detector"]))
         for p in data["points"]:
             curve.add(_dec(p["parameter"]), qos_from_dict(p["qos"]))
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, ValueError) as exc:
         raise ConfigurationError(f"bad curve archive: {exc}") from exc
     return curve
 
@@ -116,9 +135,21 @@ def archive_curves(
     directory.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
     entries = []
+    claimed: dict[str, tuple[str, str]] = {}
     for trace, per_trace in curves.items():
+        check_archive_name(str(trace), "trace name")
         for name, curve in per_trace.items():
-            path = directory / f"CURVE_{trace}_{name}.json"
+            check_archive_name(str(name), "sweep name")
+            filename = f"CURVE_{trace}_{name}.json"
+            if filename in claimed:
+                other = claimed[filename]
+                raise ConfigurationError(
+                    f"archive filename collision: ({trace!r}, {name!r}) and "
+                    f"({other[0]!r}, {other[1]!r}) both map to {filename} — "
+                    "rename one (the '_' separator is ambiguous)"
+                )
+            claimed[filename] = (trace, name)
+            path = directory / filename
             payload = {
                 "trace": trace,
                 "sweep": name,

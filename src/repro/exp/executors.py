@@ -8,12 +8,15 @@ curves by index — so :class:`ProcessPoolExecutor` is free to fan jobs out
 across every core.
 
 Process fan-out uses the ``fork`` start method where available (Linux,
-the benchmark environment): the parent installs the view table in a
-module global *before* forking, so multi-million-sample arrival arrays
-are shared copy-on-write with zero serialization.  On platforms without
-``fork`` the views travel by pickle instead (both
+the benchmark environment): the view table travels to each worker as
+pool ``initargs``, which under ``fork`` are inherited through process
+memory — multi-million-sample arrival arrays are shared copy-on-write
+with zero serialization.  On platforms without ``fork`` the same
+initargs travel by pickle instead (both
 :class:`~repro.traces.trace.MonitorView` and every registry spec are
-picklable; specs round-trip through ``to_dict``/``from_dict``).
+picklable; specs round-trip through ``to_dict``/``from_dict``).  No
+parent-process state is mutated, so concurrent ``run`` calls from
+different threads are safe.
 
 A failing job never hangs the pool: the worker catches everything and
 ships the traceback home, where it is raised as :class:`JobFailedError`
@@ -83,8 +86,11 @@ class SerialExecutor:
 # process fan-out
 # ------------------------------------------------------------------ #
 
-#: View table visible to forked workers (set in the parent pre-fork, so
-#: children inherit the arrays copy-on-write — no pickling, no copies).
+#: Per-worker view table, set by the pool initializer in each child.
+#: Never assigned in the parent process: under ``fork`` the initargs are
+#: inherited through process memory (copy-on-write, no pickling), and a
+#: parent-side global would race when two plans run from different
+#: threads.
 _WORKER_VIEWS: Mapping[str, MonitorView] | None = None
 
 
@@ -145,28 +151,22 @@ class ProcessPoolExecutor:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
             ctx = multiprocessing.get_context()
-        global _WORKER_VIEWS
-        previous = _WORKER_VIEWS
-        _WORKER_VIEWS = views  # pre-fork: children inherit CoW
-        try:
-            with futures.ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(jobs)),
-                mp_context=ctx,
-                initializer=_init_worker,
-                initargs=(views,),
-            ) as pool:
-                pending = {pool.submit(_run_job, job): job for job in jobs}
-                out: dict[int, QoSReport] = {}
-                try:
-                    for fut in futures.as_completed(pending):
-                        index, qos, tb = fut.result()
-                        if tb is not None:
-                            raise JobFailedError(pending[fut], tb)
-                        out[index] = qos
-                except JobFailedError:
-                    for fut in pending:
-                        fut.cancel()
-                    raise
-                return out
-        finally:
-            _WORKER_VIEWS = previous
+        with futures.ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(jobs)),
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(views,),
+        ) as pool:
+            pending = {pool.submit(_run_job, job): job for job in jobs}
+            out: dict[int, QoSReport] = {}
+            try:
+                for fut in futures.as_completed(pending):
+                    index, qos, tb = fut.result()
+                    if tb is not None:
+                        raise JobFailedError(pending[fut], tb)
+                    out[index] = qos
+            except JobFailedError:
+                for fut in pending:
+                    fut.cancel()
+                raise
+            return out

@@ -33,6 +33,7 @@ from typing import Any, Iterable, Mapping, Sequence, Union
 
 from repro.detectors.registry import DetectorFamily, get as get_family
 from repro.errors import ConfigurationError
+from repro.exp.archive import check_archive_name
 from repro.qos.area import QoSCurve
 from repro.qos.spec import QoSReport
 from repro.traces.trace import HeartbeatTrace, MonitorView
@@ -111,6 +112,7 @@ class ExperimentPlan:
         """Register a named monitor view (or trace, reduced to its view)."""
         if not name:
             raise ConfigurationError("trace name must be non-empty")
+        check_archive_name(name, "trace name")
         if name in self._views:
             raise ConfigurationError(f"trace {name!r} already declared")
         view = source.monitor_view() if isinstance(source, HeartbeatTrace) else source
@@ -154,6 +156,7 @@ class ExperimentPlan:
                 "give either a base spec or **params, not both"
             )
         key = name if name is not None else fam.name
+        check_archive_name(key, "sweep name")
         if any(s.trace == trace and s.name == key for s in self._sweeps):
             raise ConfigurationError(
                 f"sweep {key!r} already declared for trace {trace!r} "

@@ -65,6 +65,24 @@ class QoSReport:
     accounted_time: float = 0.0
     samples: int = 0
 
+    def __reduce__(self):
+        # Explicit so reports pickle on every supported Python (frozen
+        # slotted dataclasses only gained default pickling support in
+        # 3.11); process-pool workers return reports across the process
+        # boundary.
+        return (
+            QoSReport,
+            (
+                self.detection_time,
+                self.mistake_rate,
+                self.query_accuracy,
+                self.mistakes,
+                self.mistake_time,
+                self.accounted_time,
+                self.samples,
+            ),
+        )
+
     def __post_init__(self) -> None:
         if not (0.0 <= self.query_accuracy <= 1.0 + 1e-12):
             raise ConfigurationError(
@@ -122,6 +140,17 @@ class QoSRequirements:
     max_detection_time: float = math.inf
     max_mistake_rate: float = math.inf
     min_query_accuracy: float = 0.0
+
+    def __reduce__(self):
+        # Same frozen+slots pickling workaround as QoSReport.
+        return (
+            QoSRequirements,
+            (
+                self.max_detection_time,
+                self.max_mistake_rate,
+                self.min_query_accuracy,
+            ),
+        )
 
     def __post_init__(self) -> None:
         if self.max_detection_time <= 0.0:

@@ -160,6 +160,21 @@ class TestPicklability:
             clone = pickle.loads(pickle.dumps(job))
             assert clone == job
 
+    def test_qos_report_round_trips(self):
+        # Workers return reports across the process boundary; frozen
+        # slotted dataclasses need an explicit __reduce__ on Python 3.10.
+        qos = QoSReport(
+            detection_time=0.5,
+            mistake_rate=0.25,
+            query_accuracy=0.875,
+            mistakes=3,
+            mistake_time=1.5,
+            accounted_time=12.0,
+            samples=100,
+        )
+        assert pickle.loads(pickle.dumps(qos)) == qos
+        assert pickle.loads(pickle.dumps(REQ)) == REQ
+
 
 class TestExecutors:
     def test_serial_and_parallel_curves_bit_identical(self, small_view):
@@ -173,6 +188,21 @@ class TestExecutors:
     def test_parallel_jobs_one_degrades_to_serial(self, small_view):
         plan = small_plan(small_view)
         assert plan.run(ProcessPoolExecutor(jobs=1)).curves == plan.run().curves
+
+    def test_concurrent_runs_from_threads(self, small_view):
+        # No parent-process global is mutated, so two plans may fan out
+        # from different threads of one process without racing.
+        from concurrent.futures import ThreadPoolExecutor as _Threads
+
+        plan = small_plan(small_view)
+        expected = plan.run(SerialExecutor()).curves
+        with _Threads(max_workers=2) as threads:
+            futs = [
+                threads.submit(plan.run, ProcessPoolExecutor(jobs=2))
+                for _ in range(2)
+            ]
+            results = [f.result() for f in futs]
+        assert all(r.curves == expected for r in results)
 
     def test_invalid_worker_counts_rejected(self):
         with pytest.raises(ValueError):
@@ -247,6 +277,43 @@ class TestArchive:
         archive_curves(result.curves, tmp_path, meta={"seed": 5})
         for trace, name, curve in result.items():
             assert load_curve(tmp_path / f"CURVE_{trace}_{name}.json") == curve
+
+    def test_corrupted_archive_value_rejected(self, small_view, tmp_path):
+        # A non-numeric string anywhere in the document must surface as
+        # ConfigurationError, not a raw ValueError.
+        curve = QoSCurve("chen")
+        curve.add(0.1, QoSReport(0.5, 0.0, 1.0))
+        data = curve_to_dict(curve)
+        data["points"][0]["parameter"] = "abc"
+        with pytest.raises(ConfigurationError, match="bad curve archive"):
+            curve_from_dict(data)
+        data = curve_to_dict(curve)
+        data["points"][0]["qos"]["mistake_rate"] = "abc"
+        with pytest.raises(ConfigurationError, match="bad QoS archive"):
+            curve_from_dict(data)
+
+    def test_unsafe_names_rejected(self, tmp_path, small_view):
+        curve = QoSCurve("chen")
+        curve.add(0.1, QoSReport(0.5, 0.0, 1.0))
+        # Path-escaping or separator-bearing names never reach the disk.
+        for trace, name in [("../evil", "chen"), ("t", "a/b"), ("", "chen")]:
+            with pytest.raises(ConfigurationError, match="archive-safe"):
+                archive_curves({trace: {name: curve}}, tmp_path)
+        # The same rule holds at plan declaration time.
+        plan = ExperimentPlan()
+        with pytest.raises(ConfigurationError, match="archive-safe"):
+            plan.add_trace("a/b", small_view)
+        plan.add_trace("t", small_view)
+        with pytest.raises(ConfigurationError, match="archive-safe"):
+            plan.add_sweep("t", "chen", (0.1,), name="bad name", window=100)
+
+    def test_colliding_filenames_rejected(self, tmp_path):
+        # ('a', 'b_c') and ('a_b', 'c') both map to CURVE_a_b_c.json; the
+        # archive must refuse rather than silently overwrite.
+        curve = QoSCurve("chen")
+        curve.add(0.1, QoSReport(0.5, 0.0, 1.0))
+        with pytest.raises(ConfigurationError, match="collision"):
+            archive_curves({"a": {"b_c": curve}, "a_b": {"c": curve}}, tmp_path)
 
 
 def write_config(tmp_path, body: str):
