@@ -9,6 +9,12 @@ curves.  This bench measures what the fan-out buys: wall time for a
 four-family WAN-1 sweep serially and across ``JOBS`` worker processes,
 archived as ``BENCH_sweep.json`` (serial_s / parallel_s / speedup).
 
+It also measures what the result cache (:mod:`repro.exp.cache`) buys:
+the same plan cold (every job replayed and stored) and then warm (every
+job a cache hit, zero replays) — ``cold_s`` / ``warm_s`` /
+``warm_speedup`` in the same JSON.  A warm run must be at least 5x
+faster than a cold one and bit-identical to it, on any machine.
+
 On a machine with >= 4 cores the parallel run must be at least 2x
 faster; on smaller boxes (CI runners, containers) the speedup is
 recorded but not asserted — fork + pool overhead can eat the gain when
@@ -16,10 +22,16 @@ the workers share one core.
 """
 
 import os
+import tempfile
 import time
 
 from repro.analysis.experiments import scaled_heartbeats
-from repro.exp import ExperimentPlan, ProcessPoolExecutor, SerialExecutor
+from repro.exp import (
+    ExperimentPlan,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    SweepCache,
+)
 from repro.qos.spec import QoSRequirements
 from repro.traces import WAN_1, synthesize
 
@@ -59,16 +71,47 @@ def run():
     t0 = time.perf_counter()
     parallel = plan.run(ProcessPoolExecutor(jobs=JOBS))
     parallel_s = time.perf_counter() - t0
-    return len(plan), serial, serial_s, parallel, parallel_s
+    with tempfile.TemporaryDirectory() as d:
+        cache = SweepCache(d)
+        t0 = time.perf_counter()
+        cold = plan.run(SerialExecutor(), cache=cache)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = plan.run(SerialExecutor(), cache=cache)
+        warm_s = time.perf_counter() - t0
+    assert warm.cache.hits == len(plan) and warm.cache.misses == 0
+    return (
+        len(plan),
+        serial,
+        serial_s,
+        parallel,
+        parallel_s,
+        cold,
+        cold_s,
+        warm,
+        warm_s,
+    )
 
 
 def test_parallel_sweep_speedup(benchmark):
-    n_jobs, serial, serial_s, parallel, parallel_s = benchmark.pedantic(
-        run, rounds=1, iterations=1
-    )
-    # The reproducibility contract: fan-out must not change a single bit.
+    (
+        n_jobs,
+        serial,
+        serial_s,
+        parallel,
+        parallel_s,
+        cold,
+        cold_s,
+        warm,
+        warm_s,
+    ) = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The reproducibility contract: neither fan-out nor the cache may
+    # change a single bit.
     assert parallel.curves == serial.curves
+    assert cold.curves == serial.curves
+    assert warm.curves == cold.curves
     speedup = serial_s / parallel_s
+    warm_speedup = cold_s / warm_s
     cores = os.cpu_count() or 1
     lines = [
         "Experiment-engine fan-out: one WAN-1 plan, "
@@ -78,6 +121,11 @@ def test_parallel_sweep_speedup(benchmark):
         f"  parallel  : {parallel_s:8.2f} s  (ProcessPoolExecutor, "
         f"{JOBS} workers)",
         f"  speedup   : {speedup:8.2f} x",
+        f"  cold      : {cold_s:8.2f} s  (cache populated, "
+        f"{cold.cache.misses} misses)",
+        f"  warm      : {warm_s:8.2f} s  (zero replays, "
+        f"{warm.cache.hits} hits)",
+        f"  warm gain : {warm_speedup:8.2f} x",
         "  curves    : bit-identical",
     ]
     emit(
@@ -91,9 +139,15 @@ def test_parallel_sweep_speedup(benchmark):
             "serial_s": serial_s,
             "parallel_s": parallel_s,
             "speedup": speedup,
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "warm_speedup": warm_speedup,
             "bit_identical": True,
             "timing": bench_stats(benchmark),
         },
+    )
+    assert warm_speedup >= 5.0, (
+        f"expected warm cached run >= 5x faster, got {warm_speedup:.2f}x"
     )
     if cores >= 4:
         assert speedup >= 2.0, (

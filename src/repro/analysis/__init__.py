@@ -8,15 +8,7 @@ tables.  The benchmark scripts under ``benchmarks/`` are thin wrappers
 around this subpackage.
 """
 
-from repro.analysis.sweep import (
-    sweep_curve,
-    chen_curve,
-    phi_curve,
-    bertier_point,
-    sfd_curve,
-    fixed_curve,
-    quantile_curve,
-)
+from repro.analysis.sweep import sweep_curve
 from repro.analysis.experiments import (
     ExperimentSetup,
     FigureResult,
@@ -34,12 +26,6 @@ from repro.analysis.report import format_table, format_curve, format_figure
 
 __all__ = [
     "sweep_curve",
-    "chen_curve",
-    "phi_curve",
-    "bertier_point",
-    "sfd_curve",
-    "fixed_curve",
-    "quantile_curve",
     "ExperimentSetup",
     "FigureResult",
     "default_setup",

@@ -197,6 +197,7 @@ def run_figure(
     *,
     include_fixed: bool = False,
     executor=None,
+    cache=None,
 ) -> FigureResult:
     """Execute one experiment: one trace, all detector sweeps.
 
@@ -207,11 +208,13 @@ def run_figure(
     :class:`~repro.exp.executors.SerialExecutor`; pass
     :class:`~repro.exp.executors.ProcessPoolExecutor` to regenerate the
     figure on every core — curves are bit-identical either way).
+    ``cache`` (a :class:`~repro.exp.cache.SweepCache`) makes regeneration
+    incremental: unchanged (trace, spec) points load instead of replaying.
     """
     trace = synthesize(setup.profile, n=setup.heartbeats(), seed=setup.seed)
     view = trace.monitor_view()
     plan = figure_plan(setup, view, include_fixed=include_fixed)
-    result = plan.run(executor)
+    result = plan.run(executor, cache=cache)
     curves = result.trace_curves(setup.profile.name)
     return FigureResult(setup=setup, trace=trace, view=view, curves=curves)
 

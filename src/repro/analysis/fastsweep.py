@@ -16,7 +16,7 @@ Sorting ``resid`` and ``z = resid − gap`` once gives every α's mistake
 count and total duration by binary search over prefix sums — the whole
 K-point curve in ``O(n log n + K log n)`` instead of ``O(n·K)``.  The
 result is *bit-compatible in exact arithmetic* with
-:func:`repro.analysis.sweep.chen_curve` (the test suite asserts tight
+``sweep_curve("chen", ...)`` (the test suite asserts tight
 numerical agreement), and it is what makes dense planning sweeps
 (:func:`repro.qos.planner.plan_chen_alpha`) essentially free.
 """
@@ -131,7 +131,7 @@ def fast_chen_curve(
     window: int = 1000,
     nominal_interval: float | None = None,
 ) -> QoSCurve:
-    """Drop-in fast equivalent of :func:`repro.analysis.sweep.chen_curve`."""
+    """Drop-in fast equivalent of ``sweep_curve("chen", ...)``."""
     return ChenSweeper(
         view, window=window, nominal_interval=nominal_interval
     ).curve(alphas)

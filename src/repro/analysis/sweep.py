@@ -17,34 +17,23 @@ through this one path, and multi-sweep/multi-trace runs (optionally
 fanned out across processes) build an
 :class:`~repro.exp.plan.ExperimentPlan` directly.
 
-The per-family ``*_curve`` functions are deprecated shims kept for source
-compatibility; they delegate verbatim to :func:`sweep_curve`.
+The per-family ``chen_curve``/``phi_curve``/``bertier_point``/
+``quantile_curve``/``fixed_curve``/``sfd_curve`` shims completed their
+deprecation cycle and are gone; spell the family name instead, e.g.
+``sweep_curve("chen", view, alphas, window=1000)``.
 """
 
 from __future__ import annotations
 
-import math
-import warnings
 from typing import Sequence, Union
 
-from repro.core.feedback import InfeasiblePolicy
-from repro.core.sfd import SlotConfig
 from repro.detectors.registry import DetectorFamily, get as get_family
 from repro.exp.executors import SerialExecutor
 from repro.exp.plan import ExperimentPlan
 from repro.qos.area import QoSCurve
-from repro.qos.spec import QoSRequirements
 from repro.traces.trace import MonitorView
 
-__all__ = [
-    "sweep_curve",
-    "chen_curve",
-    "phi_curve",
-    "bertier_point",
-    "sfd_curve",
-    "fixed_curve",
-    "quantile_curve",
-]
+__all__ = ["sweep_curve"]
 
 
 def sweep_curve(
@@ -53,6 +42,7 @@ def sweep_curve(
     grid: Sequence[float] | None = None,
     *,
     instruments=None,
+    cache=None,
     **params,
 ) -> QoSCurve:
     """Sweep one detector family over a shared view.
@@ -73,6 +63,10 @@ def sweep_curve(
     instruments:
         Optional :class:`repro.obs.Instruments` bundle forwarded to every
         replay.
+    cache:
+        Optional :class:`~repro.exp.cache.SweepCache`: previously cached
+        grid points load with zero replay, new ones execute and are
+        stored.
     **params:
         Fixed spec fields applied to every point (``window=``,
         ``nominal_interval=``, SFD's ``requirements=``/``slot=``, …).
@@ -89,120 +83,5 @@ def sweep_curve(
     plan = ExperimentPlan()
     plan.add_trace("view", view)
     plan.add_sweep("view", fam, grid, **params)
-    result = plan.run(SerialExecutor(), instruments=instruments)
+    result = plan.run(SerialExecutor(), instruments=instruments, cache=cache)
     return result.curve("view", fam.name)
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use repro.analysis.sweep.{new}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def chen_curve(
-    view: MonitorView,
-    alphas: Sequence[float],
-    *,
-    window: int = 1000,
-    nominal_interval: float | None = None,
-    instruments=None,
-) -> QoSCurve:
-    """Deprecated shim: ``sweep_curve("chen", view, alphas, ...)``."""
-    _deprecated("chen_curve", 'sweep_curve("chen", ...)')
-    return sweep_curve(
-        "chen",
-        view,
-        alphas,
-        window=window,
-        nominal_interval=nominal_interval,
-        instruments=instruments,
-    )
-
-
-def phi_curve(
-    view: MonitorView,
-    thresholds: Sequence[float],
-    *,
-    window: int = 1000,
-    instruments=None,
-) -> QoSCurve:
-    """Deprecated shim: ``sweep_curve("phi", view, thresholds, ...)``."""
-    _deprecated("phi_curve", 'sweep_curve("phi", ...)')
-    return sweep_curve("phi", view, thresholds, window=window, instruments=instruments)
-
-
-def bertier_point(
-    view: MonitorView,
-    *,
-    window: int = 1000,
-    nominal_interval: float | None = None,
-    instruments=None,
-) -> QoSCurve:
-    """Deprecated shim: ``sweep_curve("bertier", view, ...)`` (one point)."""
-    _deprecated("bertier_point", 'sweep_curve("bertier", ...)')
-    return sweep_curve(
-        "bertier",
-        view,
-        window=window,
-        nominal_interval=nominal_interval,
-        instruments=instruments,
-    )
-
-
-def fixed_curve(
-    view: MonitorView,
-    timeouts: Sequence[float],
-    *,
-    instruments=None,
-) -> QoSCurve:
-    """Deprecated shim: ``sweep_curve("fixed", view, timeouts, ...)``."""
-    _deprecated("fixed_curve", 'sweep_curve("fixed", ...)')
-    return sweep_curve("fixed", view, timeouts, instruments=instruments)
-
-
-def quantile_curve(
-    view: MonitorView,
-    quantiles: Sequence[float],
-    *,
-    window: int = 1000,
-    instruments=None,
-) -> QoSCurve:
-    """Deprecated shim: ``sweep_curve("quantile", view, quantiles, ...)``."""
-    _deprecated("quantile_curve", 'sweep_curve("quantile", ...)')
-    return sweep_curve(
-        "quantile", view, quantiles, window=window, instruments=instruments
-    )
-
-
-def sfd_curve(
-    view: MonitorView,
-    requirements: QoSRequirements,
-    sm1_values: Sequence[float],
-    *,
-    alpha: float = 0.1,
-    beta: float = 0.5,
-    window: int = 1000,
-    slot: SlotConfig | None = None,
-    nominal_interval: float | None = None,
-    policy: InfeasiblePolicy = InfeasiblePolicy.STOP,
-    sm_max: float = math.inf,
-    instruments=None,
-) -> QoSCurve:
-    """Deprecated shim: ``sweep_curve("sfd", view, sm1_values, ...)``."""
-    _deprecated("sfd_curve", 'sweep_curve("sfd", ...)')
-    return sweep_curve(
-        "sfd",
-        view,
-        sm1_values,
-        requirements=requirements,
-        alpha=alpha,
-        beta=beta,
-        window=window,
-        slot=slot if slot is not None else SlotConfig(),
-        nominal_interval=nominal_interval,
-        policy=policy,
-        sm_bounds=(0.0, sm_max),
-        instruments=instruments,
-    )

@@ -134,6 +134,8 @@ def cmd_run(args: argparse.Namespace) -> None:
             jobs=args.jobs,
             output=args.output,
             archive=not args.no_archive,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
         )
     except JobFailedError as exc:
         raise SystemExit(str(exc))
@@ -149,6 +151,8 @@ def cmd_run(args: argparse.Namespace) -> None:
     print(
         f"\nran {outcome.n_jobs} replay jobs in {outcome.elapsed:.2f}s ({mode})"
     )
+    if outcome.cache is not None:
+        print(f"cache: {outcome.cache}")
     for path in outcome.written:
         print(f"archived {path}")
 
@@ -568,6 +572,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-archive",
         action="store_true",
         help="print curves only, write nothing",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache directory (default: cache/ inside the archive dir)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="replay every job from scratch; neither read nor write the cache",
     )
     p.set_defaults(func=cmd_run)
 

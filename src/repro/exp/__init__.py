@@ -5,8 +5,10 @@
 flat :class:`ReplayJob` lists; pluggable executors run them — serially or
 fanned out across processes with fork-shared read-only views — and curves
 reassemble in deterministic sweep order regardless of completion order.
-:mod:`repro.exp.config` adds the TOML front end (``repro run``), and
-:mod:`repro.exp.archive` the lossless JSON curve archive.
+:mod:`repro.exp.config` adds the TOML front end (``repro run``),
+:mod:`repro.exp.archive` the lossless JSON curve archive, and
+:mod:`repro.exp.cache` the content-addressed result cache that makes
+repeated runs incremental (only changed grid points replay).
 
 The sweep/figure layers (:func:`repro.analysis.sweep.sweep_curve`,
 :func:`repro.analysis.experiments.run_figure`) are thin wrappers over
@@ -28,9 +30,13 @@ from repro.exp.archive import (
     qos_from_dict,
     qos_to_dict,
 )
+from repro.exp.cache import CACHE_FORMAT, CacheStats, SweepCache
 from repro.exp.config import ExperimentConfig, RunOutcome, load_config, run_config
 
 __all__ = [
+    "CACHE_FORMAT",
+    "CacheStats",
+    "SweepCache",
     "ExperimentPlan",
     "PlanResult",
     "ReplayJob",

@@ -48,6 +48,7 @@ from typing import Any, Mapping
 from repro.detectors.registry import get as get_family
 from repro.errors import ConfigurationError
 from repro.exp.archive import archive_curves
+from repro.exp.cache import CacheStats, SweepCache
 from repro.exp.executors import ProcessPoolExecutor, SerialExecutor
 from repro.exp.plan import ExperimentPlan, PlanResult
 from repro.traces import ALL_PROFILES, LAN_REFERENCE, HeartbeatTrace, synthesize
@@ -76,13 +77,19 @@ class ExperimentConfig:
 
 @dataclass
 class RunOutcome:
-    """What one config run produced: curves, archive paths, timing."""
+    """What one config run produced: curves, archive paths, timing.
+
+    ``cache`` is the run's hit/miss accounting
+    (:class:`~repro.exp.cache.CacheStats`), or ``None`` when the run
+    bypassed the cache (``use_cache=False`` / ``--no-cache``).
+    """
 
     result: PlanResult
     written: list[Path]
     jobs: int
     n_jobs: int
     elapsed: float
+    cache: CacheStats | None = None
 
 
 def _require_keys(table: Mapping[str, Any], allowed: set[str], where: str) -> None:
@@ -237,6 +244,8 @@ def run_config(
     jobs: int | None = None,
     output: str | Path | None = None,
     archive: bool = True,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
 ) -> RunOutcome:
     """Execute a loaded config and archive its curves.
 
@@ -245,20 +254,34 @@ def run_config(
     :class:`~repro.exp.executors.ProcessPoolExecutor` (``0`` = every
     core).  Curves land under ``output`` (default: ``<config stem>_curves``
     next to the config file) unless ``archive=False``.
+
+    Runs are incremental by default: results are cached under
+    ``cache_dir`` (default: a ``cache/`` subdirectory of the archive
+    directory) keyed by trace fingerprint + family + spec, so a rerun
+    over unchanged inputs replays nothing and reassembles bit-identical
+    curves.  ``use_cache=False`` (``--no-cache``) bypasses both reads
+    and writes; with ``archive=False`` and no explicit ``cache_dir``
+    there is nowhere to persist, so the cache is skipped too.
     """
     n = config.jobs if jobs is None else int(jobs)
     executor = ProcessPoolExecutor(jobs=n) if n != 1 else SerialExecutor()
+    directory = (
+        Path(output)
+        if output is not None
+        else (config.output or config.path.parent / f"{config.path.stem}_curves")
+    )
+    cache = None
+    if use_cache:
+        if cache_dir is not None:
+            cache = SweepCache(cache_dir)
+        elif archive:
+            cache = SweepCache(directory / "cache")
     t0 = time.perf_counter()
-    result = config.plan.run(executor)
+    result = config.plan.run(executor, cache=cache)
     elapsed = time.perf_counter() - t0
     effective = getattr(executor, "jobs", 1)
     written: list[Path] = []
     if archive:
-        directory = (
-            Path(output)
-            if output is not None
-            else (config.output or config.path.parent / f"{config.path.stem}_curves")
-        )
         written = archive_curves(
             result.curves,
             directory,
@@ -278,4 +301,5 @@ def run_config(
         jobs=effective,
         n_jobs=len(config.plan),
         elapsed=elapsed,
+        cache=result.cache,
     )

@@ -12,6 +12,7 @@ window.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from dataclasses import dataclass, field
@@ -62,6 +63,28 @@ class MonitorView:
             MonitorView,
             (self.seq, self.arrivals, self.send_times, self.dropped_stale),
         )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of everything a replay consumes.
+
+        sha256 over the three arrays (dtype + length + raw bytes, in a
+        fixed order) plus ``dropped_stale``.  Two views fingerprint
+        identically iff every replay over them is bit-identical, which is
+        what keys the sweep result cache (:mod:`repro.exp.cache`): any
+        change to the trace — one arrival nudged, one heartbeat added —
+        yields a different digest and therefore a cache miss.
+        """
+        h = hashlib.sha256(b"repro.MonitorView/1")
+        for name, arr in (
+            ("seq", self.seq),
+            ("arrivals", self.arrivals),
+            ("send_times", self.send_times),
+        ):
+            a = np.ascontiguousarray(arr)
+            h.update(f"|{name}:{a.dtype.str}:{a.size}|".encode("ascii"))
+            h.update(a.tobytes())
+        h.update(f"|dropped_stale:{self.dropped_stale}|".encode("ascii"))
+        return h.hexdigest()
 
 
 @dataclass

@@ -4,6 +4,12 @@ The central helper is :func:`stream_freshness`, which replays a
 :class:`~repro.traces.trace.MonitorView` through a *streaming* detector and
 collects its freshness points — the semantic reference the vectorized
 engine is checked against throughout the suite.
+
+Seeded synthetic traces come from the session-scoped ``trace_factory`` /
+``view_factory`` fixtures: one builder keyed on ``(kind, n, seed)`` —
+``kind`` is ``"jittered"`` or a WAN profile name — with results cached
+for the session, so test modules stop hand-rolling near-identical
+builders and identical requests don't re-synthesize.
 """
 
 from __future__ import annotations
@@ -51,8 +57,54 @@ def jittered_trace(n: int = 4000, seed: int = 0) -> HeartbeatTrace:
 
 
 @pytest.fixture(scope="session")
-def wan1_trace() -> HeartbeatTrace:
-    return synthesize(WAN_1, n=30_000, seed=11)
+def trace_factory():
+    """Session-cached builder of seeded synthetic traces.
+
+    ``trace_factory(kind, n=..., seed=...)`` returns a
+    :class:`HeartbeatTrace` — ``kind`` is ``"jittered"`` (the small noisy
+    cross-check trace above) or a WAN profile name (``"WAN-1"``,
+    ``"WAN-JAIST"``, …).  Same arguments → the very same object, so
+    treat the result as read-only.
+    """
+    from repro.traces import ALL_PROFILES, LAN_REFERENCE
+
+    profiles = {p.name: p for p in (*ALL_PROFILES, LAN_REFERENCE)}
+    built: dict[tuple[str, int, int], HeartbeatTrace] = {}
+
+    def factory(kind: str, *, n: int, seed: int) -> HeartbeatTrace:
+        key = (kind, int(n), int(seed))
+        if key not in built:
+            if kind == "jittered":
+                built[key] = jittered_trace(n=n, seed=seed)
+            elif kind in profiles:
+                built[key] = synthesize(profiles[kind], n=n, seed=seed)
+            else:
+                raise ValueError(
+                    f"unknown trace kind {kind!r}; "
+                    f"use 'jittered' or one of {', '.join(profiles)}"
+                )
+        return built[key]
+
+    return factory
+
+
+@pytest.fixture(scope="session")
+def view_factory(trace_factory):
+    """Like ``trace_factory`` but returns the (cached) monitor view."""
+    built: dict[tuple[str, int, int], MonitorView] = {}
+
+    def factory(kind: str, *, n: int, seed: int) -> MonitorView:
+        key = (kind, int(n), int(seed))
+        if key not in built:
+            built[key] = trace_factory(kind, n=n, seed=seed).monitor_view()
+        return built[key]
+
+    return factory
+
+
+@pytest.fixture(scope="session")
+def wan1_trace(trace_factory) -> HeartbeatTrace:
+    return trace_factory(WAN_1.name, n=30_000, seed=11)
 
 
 @pytest.fixture(scope="session")
@@ -61,8 +113,8 @@ def wan1_view(wan1_trace) -> MonitorView:
 
 
 @pytest.fixture(scope="session")
-def jaist_trace() -> HeartbeatTrace:
-    return synthesize(WAN_JAIST, n=25_000, seed=13)
+def jaist_trace(trace_factory) -> HeartbeatTrace:
+    return trace_factory(WAN_JAIST.name, n=25_000, seed=13)
 
 
 @pytest.fixture(scope="session")
@@ -71,5 +123,5 @@ def jaist_view(jaist_trace) -> MonitorView:
 
 
 @pytest.fixture()
-def small_view() -> MonitorView:
-    return jittered_trace(n=3000, seed=5).monitor_view()
+def small_view(view_factory) -> MonitorView:
+    return view_factory("jittered", n=3000, seed=5)

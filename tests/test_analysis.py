@@ -10,18 +10,14 @@ from repro.errors import ConfigurationError
 from repro.qos.spec import QoSRequirements
 from repro.analysis import (
     PAPER_TABLE2,
-    bertier_point,
-    chen_curve,
     default_setup,
-    fixed_curve,
     format_curve,
     format_figure,
     format_table,
-    phi_curve,
     repro_scale,
-    run_figure,
     scaled_heartbeats,
-    sfd_curve,
+    run_figure,
+    sweep_curve,
     table1_rows,
     table2_rows,
     window_ablation,
@@ -34,36 +30,37 @@ REQ = QoSRequirements(
 
 
 @pytest.fixture(scope="module")
-def view():
-    return synthesize(WAN_1, n=12_000, seed=21).monitor_view()
+def view(view_factory):
+    return view_factory(WAN_1.name, n=12_000, seed=21)
 
 
 class TestSweeps:
     def test_chen_curve_structure(self, view):
-        c = chen_curve(view, [0.01, 0.1, 0.5], window=200)
+        c = sweep_curve("chen", view, [0.01, 0.1, 0.5], window=200)
         assert c.detector == "chen"
         assert len(c) == 3
         tds = c.detection_times()
         assert tds[0] < tds[1] < tds[2]  # alpha monotonicity
 
     def test_phi_curve_includes_cutoff(self, view):
-        c = phi_curve(view, [1.0, 8.0, 18.0], window=200)
+        c = sweep_curve("phi", view, [1.0, 8.0, 18.0], window=200)
         assert math.isinf(c.points[-1].detection_time)
         assert len(c.finite()) == 2
 
     def test_bertier_is_single_point(self, view):
-        c = bertier_point(view, window=200)
+        c = sweep_curve("bertier", view, window=200)
         assert len(c) == 1
 
     def test_fixed_curve(self, view):
-        c = fixed_curve(view, [0.1, 0.4])
+        c = sweep_curve("fixed", view, [0.1, 0.4])
         assert len(c) == 2
 
     def test_sfd_curve_satisfies_requirements(self, view):
-        c = sfd_curve(
+        c = sweep_curve(
+            "sfd",
             view,
-            REQ,
             [0.005, 0.1, 0.9],
+            requirements=REQ,
             window=200,
             slot=SlotConfig(50, reset_on_adjust=True, min_slots=3),
         )
@@ -193,14 +190,17 @@ class TestReport:
         assert "(empty)" in format_table([])
 
     def test_format_curve_contains_rows(self, view):
-        c = chen_curve(view, [0.1], window=200)
+        c = sweep_curve("chen", view, [0.1], window=200)
         text = format_curve(c, parameter_name="alpha [s]")
         assert "alpha [s]" in text and "TD [s]" in text
 
     def test_format_figure_orders_detectors(self, view):
         curves = {
-            "chen": chen_curve(view, [0.1], window=200),
-            "sfd": sfd_curve(view, REQ, [0.1], window=200, slot=SlotConfig(50)),
+            "chen": sweep_curve("chen", view, [0.1], window=200),
+            "sfd": sweep_curve(
+                "sfd", view, [0.1], requirements=REQ, window=200,
+                slot=SlotConfig(50),
+            ),
         }
         text = format_figure(curves, title="Fig")
         assert text.index("sfd") < text.index("chen")
@@ -210,10 +210,10 @@ class TestFastSweep:
     """The one-pass Chen evaluator must agree exactly with the replay."""
 
     def test_exact_agreement_with_replay_sweep(self, view):
-        from repro.analysis import ChenSweeper, chen_curve
+        from repro.analysis import ChenSweeper
 
         alphas = [0.0, 0.003, 0.02, 0.1, 0.5, 1.5]
-        slow = chen_curve(view, alphas, window=300)
+        slow = sweep_curve("chen", view, alphas, window=300)
         fast = ChenSweeper(view, window=300).curve(alphas)
         for a, b in zip(slow.points, fast.points):
             assert a.qos.mistakes == b.qos.mistakes
@@ -255,12 +255,11 @@ class TestFastSweep:
             ChenSweeper(view, window=300).qos_at(-1.0)
 
     def test_nominal_interval_variant(self, view):
-        from repro.analysis import chen_curve, fast_chen_curve
+        from repro.analysis import fast_chen_curve
 
         alphas = [0.01, 0.2]
-        slow = chen_curve(view, alphas, window=300)
-        # chen_curve has no nominal_interval pass-through in this harness;
-        # compare the estimated-interval paths instead.
+        slow = sweep_curve("chen", view, alphas, window=300)
+        # Compare the estimated-interval paths of the two evaluators.
         fast = fast_chen_curve(view, alphas, window=300)
         for a, b in zip(slow.points, fast.points):
             assert a.qos.mistakes == b.qos.mistakes

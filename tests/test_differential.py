@@ -1,0 +1,110 @@
+"""Differential harness: streaming detectors vs. vectorized kernels, in QoS.
+
+The sweep cache (:mod:`repro.exp.cache`) stores *QoS reports* produced by
+the vectorized replay kernels and serves them in place of re-execution —
+so its correctness rests on the kernels computing the same QoS a real
+streaming monitor would.  The per-family replay tests check freshness
+arrays; this module closes the loop at the level that is actually cached:
+for **every** registered detector family, seeded synthetic traces are
+replayed both ways —
+
+* streaming: the family's real :class:`FailureDetector` fed heartbeat by
+  heartbeat (:func:`conftest.stream_freshness`), its freshness points run
+  through the engine's own accounting (:func:`repro.replay.engine._account`),
+* vectorized: :func:`repro.replay.replay` over the same view —
+
+and the two :class:`~repro.qos.spec.QoSReport`\\ s must agree point for
+point at every grid value: identical mistake/sample counts, and float
+fields equal to within accumulation noise (``inf``/``nan`` must match
+exactly — the φ cutoff region is part of the contract).
+
+A completeness guard fails when a new family is registered without a
+differential case, so the harness stays exhaustive by construction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.detectors import registry
+from repro.qos.spec import QoSRequirements
+from repro.replay import replay
+from repro.replay.engine import _account
+
+from conftest import stream_freshness  # noqa: E402
+
+REQ = QoSRequirements(
+    max_detection_time=0.8, max_mistake_rate=0.3, min_query_accuracy=0.98
+)
+
+# One case per registered family: (grid values, fixed spec params).
+# Grids deliberately span aggressive → conservative, including φ's
+# infinite-detection cutoff region (threshold 18).
+DIFFERENTIAL_CASES = {
+    "chen": ((0.01, 0.1, 0.5), {"window": 100}),
+    "bertier": ((0.0,), {"window": 100}),
+    "phi": ((1.0, 4.0, 18.0), {"window": 100}),
+    "quantile": ((0.9, 0.99), {"window": 100}),
+    "fixed": ((0.1, 0.5), {}),
+    "sfd": ((0.01, 0.1, 0.9), {"requirements": REQ, "window": 100}),
+}
+
+# Two different seeded workloads: the small noisy cross-check trace and a
+# calibrated WAN profile (losses, jitter, reordering).
+VIEWS = [("jittered", 3000, 42), ("WAN-JAIST", 4000, 7)]
+
+
+def assert_qos_equivalent(streamed, vectorized, family: str):
+    """Point-for-point equivalence of two QoS reports.
+
+    Counts must be identical; float fields agree to accumulation noise,
+    with non-finite values (φ's cutoff) required to match exactly.
+    """
+    assert streamed.mistakes == vectorized.mistakes, family
+    assert streamed.samples == vectorized.samples, family
+    for field in (
+        "detection_time",
+        "mistake_rate",
+        "query_accuracy",
+        "mistake_time",
+        "accounted_time",
+    ):
+        a = getattr(streamed, field)
+        b = getattr(vectorized, field)
+        if math.isnan(a) or math.isnan(b):
+            assert math.isnan(a) and math.isnan(b), (family, field)
+        elif math.isinf(a) or math.isinf(b):
+            assert a == b, (family, field)
+        else:
+            assert a == pytest.approx(b, rel=1e-6, abs=1e-9), (family, field)
+
+
+def test_every_registered_family_has_a_case():
+    # New families must add a differential case or this harness is no
+    # longer the exhaustive equivalence check the cache relies on.
+    assert set(registry.names()) == set(DIFFERENTIAL_CASES)
+
+
+@pytest.mark.parametrize("kind,n,seed", VIEWS, ids=[v[0] for v in VIEWS])
+@pytest.mark.parametrize("family", sorted(DIFFERENTIAL_CASES))
+def test_streaming_and_vectorized_qos_agree(
+    view_factory, family, kind, n, seed
+):
+    view = view_factory(kind, n=n, seed=seed)
+    fam = registry.get(family)
+    grid, params = DIFFERENTIAL_CASES[family]
+    for value in grid:
+        spec = fam.grid_spec(float(value), **params)
+        r0 = max(spec.window, 2) - 1
+
+        fp = stream_freshness(fam.build(spec), view)
+        # The engine's warm-up convention: the streaming detector must be
+        # ready from received index window − 1 on (fixed: index 1).
+        assert not np.isnan(fp[r0:]).any(), (family, value)
+        streamed = _account(view, fp, r0)
+
+        vectorized = replay(spec, view).qos
+        assert_qos_equivalent(streamed, vectorized, f"{family}@{value}")

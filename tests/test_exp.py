@@ -9,12 +9,16 @@ The load-bearing guarantees tested here:
 * a failing job surfaces as :class:`JobFailedError` carrying the
   offending spec and the worker traceback instead of hanging the pool,
 * every registry spec and :class:`MonitorView` survive pickling (the
-  process-fan-out prerequisite), and
-* curve archives and TOML configs round-trip losslessly.
+  process-fan-out prerequisite),
+* curve archives and TOML configs round-trip losslessly, and
+* cached runs (:class:`~repro.exp.cache.SweepCache`) replay nothing on a
+  warm pass yet reassemble curves bit-identical to the cold one, and any
+  damaged or stale cache entry degrades to a miss, never a crash.
 """
 
 from __future__ import annotations
 
+import json
 import math
 import pickle
 
@@ -24,10 +28,12 @@ import pytest
 from repro.detectors import registry
 from repro.errors import ConfigurationError
 from repro.exp import (
+    CACHE_FORMAT,
     ExperimentPlan,
     JobFailedError,
     ProcessPoolExecutor,
     SerialExecutor,
+    SweepCache,
     archive_curves,
     load_config,
     load_curve,
@@ -38,8 +44,6 @@ from repro.qos.area import QoSCurve
 from repro.qos.spec import QoSReport, QoSRequirements
 from repro.replay import ChenSpec
 from repro.traces.trace import MonitorView
-
-from conftest import jittered_trace
 
 REQ = QoSRequirements(
     max_detection_time=0.8, max_mistake_rate=0.3, min_query_accuracy=0.98
@@ -360,8 +364,8 @@ class TestConfig:
         for name, curve in curves.items():
             assert load_curve(archive / f"CURVE_wan1_{name}.json") == curve
 
-    def test_trace_from_file(self, tmp_path):
-        trace = jittered_trace(n=2000, seed=7)
+    def test_trace_from_file(self, tmp_path, trace_factory):
+        trace = trace_factory("jittered", n=2000, seed=7)
         trace.save(tmp_path / "logged.npz")
         config = load_config(
             write_config(
@@ -417,3 +421,176 @@ params = { window = 100 }
     def test_missing_file_names_the_config(self, tmp_path):
         with pytest.raises(ConfigurationError, match="cannot read"):
             load_config(tmp_path / "absent.toml")
+
+
+class TestCache:
+    """Incremental sweep cache: hits replay nothing, damage only misses."""
+
+    def test_warm_run_zero_replays_bit_identical(
+        self, small_view, tmp_path, monkeypatch
+    ):
+        cache = SweepCache(tmp_path / "cache")
+        cold = small_plan(small_view).run(cache=cache)
+        assert cold.cache.hits == 0 and cold.cache.misses == 8
+
+        # A warm run must never reach the job body: any _execute call —
+        # serial or pooled, both share this function — is a failure.
+        def forbidden(*a, **k):
+            raise AssertionError("warm run executed a replay job")
+
+        monkeypatch.setattr("repro.exp.executors._execute", forbidden)
+        warm = small_plan(small_view).run(cache=cache)
+        assert warm.cache.hits == 8 and warm.cache.misses == 0
+        # Dataclass equality over every float: bit-identical, not close.
+        assert warm.curves == cold.curves
+
+    def test_editing_one_grid_point_reruns_exactly_that_job(
+        self, small_view, tmp_path, monkeypatch
+    ):
+        cache = SweepCache(tmp_path / "cache")
+
+        def build(alphas):
+            plan = ExperimentPlan().add_trace("t", small_view)
+            plan.add_sweep("t", "chen", alphas, window=100)
+            return plan
+
+        build((0.05, 0.2, 0.5)).run(cache=cache)
+
+        import repro.exp.executors as executors
+
+        real = executors._execute
+        executed = []
+
+        def counting(job, view, instruments=None):
+            executed.append(job.parameter)
+            return real(job, view, instruments)
+
+        monkeypatch.setattr(executors, "_execute", counting)
+        result = build((0.05, 0.3, 0.5)).run(cache=cache)
+        assert executed == [0.3]
+        assert result.cache.hits == 2 and result.cache.misses == 1
+
+    def test_view_change_misses(self, view_factory, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        a = view_factory("jittered", n=2000, seed=1)
+        b = view_factory("jittered", n=2000, seed=2)
+        assert a.fingerprint() != b.fingerprint()
+
+        def run(view):
+            plan = ExperimentPlan().add_trace("t", view)
+            plan.add_sweep("t", "chen", (0.1,), window=100)
+            return plan.run(cache=cache)
+
+        run(a)
+        assert run(b).cache.misses == 1  # same spec, different trace
+        assert run(a).cache.hits == 1  # original entry still valid
+
+    def _single_entry(self, view, cache):
+        plan = ExperimentPlan().add_trace("t", view)
+        plan.add_sweep("t", "chen", (0.1,), window=100)
+        plan.run(cache=cache)
+        entries = sorted(cache.directory.glob("QOS_*.json"))
+        assert len(entries) == 1
+        return plan, entries[0]
+
+    def test_corrupted_entry_degrades_to_miss(self, small_view, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        plan, entry = self._single_entry(small_view, cache)
+        for damage in (b"{ not json", b"", b'{"format": 1}'):
+            entry.write_bytes(damage)
+            result = plan.run(cache=SweepCache(cache.directory))
+            assert result.cache.hits == 0 and result.cache.misses == 1
+            # The miss re-executed and rewrote the entry: now it hits again.
+            assert plan.run(cache=SweepCache(cache.directory)).cache.hits == 1
+
+    def test_truncated_entry_degrades_to_miss(self, small_view, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        plan, entry = self._single_entry(small_view, cache)
+        entry.write_bytes(entry.read_bytes()[: entry.stat().st_size // 2])
+        fresh = SweepCache(cache.directory)
+        assert plan.run(cache=fresh).cache.misses == 1
+        assert fresh.invalid == 1
+
+    def test_stale_format_version_degrades_to_miss(self, small_view, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        plan, entry = self._single_entry(small_view, cache)
+        data = json.loads(entry.read_text())
+        assert data["format"] == CACHE_FORMAT
+        data["format"] = CACHE_FORMAT + 1
+        entry.write_text(json.dumps(data))
+        fresh = SweepCache(cache.directory)
+        assert plan.run(cache=fresh).cache.misses == 1
+        assert fresh.invalid == 1
+        # …and the rewrite restores the current format.
+        assert json.loads(entry.read_text())["format"] == CACHE_FORMAT
+
+    def test_corrupt_manifest_is_rebuilt(self, small_view, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        plan, entry = self._single_entry(small_view, cache)
+        manifest = cache.directory / "manifest.json"
+        manifest.write_text("{ garbage")
+        # Entries still hit (the manifest is advisory)…
+        assert plan.run(cache=SweepCache(cache.directory)).cache.hits == 1
+        # …and the next store rewrites it from scratch.
+        plan2 = ExperimentPlan().add_trace("t", small_view)
+        plan2.add_sweep("t", "chen", (0.2,), window=100)
+        plan2.run(cache=SweepCache(cache.directory))
+        data = json.loads(manifest.read_text())
+        assert data["format"] == CACHE_FORMAT and len(data["entries"]) == 1
+
+    def test_run_config_warm_is_bit_identical_with_zero_replays(
+        self, tmp_path, monkeypatch
+    ):
+        # The acceptance criterion, at the `repro run` entry point: a warm
+        # run over an unchanged config replays nothing and archives the
+        # same curves byte for byte.
+        config_path = write_config(tmp_path, GOOD_CONFIG)
+        cold = run_config(load_config(config_path))
+        assert cold.cache.misses == 4 and cold.cache.hits == 0
+        archived = {
+            p: p.read_bytes()
+            for p in (tmp_path / "curves").glob("CURVE_*.json")
+        }
+        assert len(archived) == 2
+
+        def forbidden(*a, **k):
+            raise AssertionError("warm run executed a replay job")
+
+        monkeypatch.setattr("repro.exp.executors._execute", forbidden)
+        warm = run_config(load_config(config_path))
+        assert warm.cache.hits == 4 and warm.cache.misses == 0
+        assert warm.result.curves == cold.result.curves
+        for path, blob in archived.items():
+            assert path.read_bytes() == blob
+
+    def test_no_cache_bypasses_reads_and_writes(self, tmp_path):
+        config_path = write_config(tmp_path, GOOD_CONFIG)
+        outcome = run_config(load_config(config_path), use_cache=False)
+        assert outcome.cache is None
+        assert not (tmp_path / "curves" / "cache").exists()
+        # A later cached run finds nothing to reuse…
+        cold = run_config(load_config(config_path))
+        assert cold.cache.hits == 0
+        # …and --no-cache after a cold run ignores the populated cache.
+        entries = set((tmp_path / "curves" / "cache").glob("QOS_*.json"))
+        again = run_config(load_config(config_path), use_cache=False)
+        assert again.cache is None
+        assert set((tmp_path / "curves" / "cache").glob("QOS_*.json")) == entries
+
+    def test_explicit_cache_dir(self, tmp_path):
+        config_path = write_config(tmp_path, GOOD_CONFIG)
+        elsewhere = tmp_path / "elsewhere"
+        run_config(load_config(config_path), cache_dir=elsewhere)
+        assert sorted(p.name for p in elsewhere.glob("QOS_*.json"))
+        assert not (tmp_path / "curves" / "cache").exists()
+        warm = run_config(load_config(config_path), cache_dir=elsewhere)
+        assert warm.cache.hits == 4
+
+    def test_cache_works_with_process_pool(self, small_view, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        plan = small_plan(small_view)
+        cold = plan.run(ProcessPoolExecutor(jobs=2), cache=cache)
+        assert cold.cache.misses == 8
+        warm = plan.run(ProcessPoolExecutor(jobs=2), cache=cache)
+        assert warm.cache.hits == 8
+        assert warm.curves == cold.curves

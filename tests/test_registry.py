@@ -34,15 +34,7 @@ from repro.replay import (
     fixed_freshness,
     replay,
 )
-from repro.analysis.sweep import (
-    bertier_point,
-    chen_curve,
-    fixed_curve,
-    phi_curve,
-    quantile_curve,
-    sfd_curve,
-    sweep_curve,
-)
+from repro.analysis.sweep import sweep_curve
 
 BUILTIN = ("chen", "bertier", "phi", "quantile", "fixed", "sfd")
 
@@ -230,59 +222,46 @@ class TestFactories:
         assert isinstance(built, FixedTimeoutFD)
 
 
+SWEEP_CASES = {
+    "chen": ((0.05, 0.2), {"window": 100}),
+    "phi": ((1.0, 4.0), {"window": 100}),
+    "bertier": ((0.0,), {"window": 100}),
+    "quantile": ((0.9, 0.99), {"window": 100}),
+    "fixed": ((0.1, 0.5), {}),
+    "sfd": ((0.01, 0.1), {"requirements": REQ, "window": 100}),
+}
+
+
 class TestSweepEquivalence:
-    """The generic sweep must reproduce every legacy per-family curve."""
+    """The generic sweep is nothing but per-point replays, in grid order.
 
-    def assert_same(self, legacy, new):
-        assert legacy.detector == new.detector
-        assert legacy.points == new.points
+    Registry-driven replacement for the retired per-family shim tests:
+    for *every* registered built-in family the curve from
+    :func:`sweep_curve` must equal, point for point and bit for bit, a
+    direct :func:`replay` of the family's ``grid_spec`` at each value.
+    """
 
-    def test_chen(self, small_view):
-        with pytest.deprecated_call():
-            legacy = chen_curve(small_view, (0.05, 0.2), window=100)
-        self.assert_same(
-            legacy, sweep_curve("chen", small_view, (0.05, 0.2), window=100)
-        )
+    def test_every_builtin_family_has_a_case(self):
+        assert set(SWEEP_CASES) == set(BUILTIN)
 
-    def test_phi(self, small_view):
-        with pytest.deprecated_call():
-            legacy = phi_curve(small_view, (1.0, 4.0), window=100)
-        self.assert_same(
-            legacy, sweep_curve("phi", small_view, (1.0, 4.0), window=100)
-        )
+    @pytest.mark.parametrize("name", BUILTIN)
+    def test_sweep_equals_per_point_replays(self, small_view, name):
+        grid, params = SWEEP_CASES[name]
+        fam = registry.get(name)
+        curve = sweep_curve(name, small_view, grid, **params)
+        assert curve.detector == name
+        assert [p.parameter for p in curve.points] == [float(v) for v in grid]
+        for value, point in zip(grid, curve.points):
+            spec = fam.grid_spec(float(value), **params)
+            assert point.qos == replay(spec, small_view).qos
 
-    def test_bertier(self, small_view):
-        with pytest.deprecated_call():
-            legacy = bertier_point(small_view, window=100)
-        new = sweep_curve("bertier", small_view, window=100)
-        self.assert_same(legacy, new)
-        assert len(new) == 1
-
-    def test_fixed(self, small_view):
-        with pytest.deprecated_call():
-            legacy = fixed_curve(small_view, (0.1, 0.5))
-        self.assert_same(legacy, sweep_curve("fixed", small_view, (0.1, 0.5)))
-
-    def test_quantile(self, small_view):
-        with pytest.deprecated_call():
-            legacy = quantile_curve(small_view, (0.9, 0.99), window=100)
-        self.assert_same(
-            legacy, sweep_curve("quantile", small_view, (0.9, 0.99), window=100)
-        )
-
-    def test_sfd(self, small_view):
-        with pytest.deprecated_call():
-            legacy = sfd_curve(small_view, REQ, (0.01, 0.1), window=100)
-        new = sweep_curve(
-            "sfd",
-            small_view,
-            (0.01, 0.1),
-            requirements=REQ,
-            window=100,
-            slot=SlotConfig(),
-            sm_bounds=(0.0, float("inf")),
-        )
-        self.assert_same(legacy, new)
+    def test_single_point_families_ignore_the_grid_value(self, small_view):
+        # Bertier has no sweep parameter: the grid value labels the point
+        # but the spec is the same either way.
+        a = sweep_curve("bertier", small_view, (0.0,), window=100)
+        b = sweep_curve("bertier", small_view, (7.0,), window=100)
+        assert len(a) == len(b) == 1
+        assert a.points[0].qos == b.points[0].qos
 
     def test_default_grid_used_when_none(self, small_view):
         fam = registry.get("fixed")

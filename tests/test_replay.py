@@ -29,7 +29,7 @@ from repro.replay import (
 )
 from repro.traces.trace import MonitorView
 
-from conftest import jittered_trace, regular_view, stream_freshness  # noqa: E402
+from conftest import regular_view, stream_freshness  # noqa: E402
 
 REQ = QoSRequirements(
     max_detection_time=0.5, max_mistake_rate=0.5, min_query_accuracy=0.9
@@ -49,8 +49,8 @@ def assert_fp_equal(streamed: np.ndarray, vectorized: np.ndarray, atol=1e-9):
 
 
 @pytest.fixture(scope="module")
-def noisy_view():
-    return jittered_trace(n=3000, seed=42).monitor_view()
+def noisy_view(view_factory):
+    return view_factory("jittered", n=3000, seed=42)
 
 
 class TestChenEquivalence:
@@ -169,8 +169,8 @@ class TestReplayEngine:
             assert 0.0 <= res.qos.query_accuracy <= 1.0
             assert res.freshness.shape == (len(noisy_view),)
 
-    def test_accepts_trace_directly(self):
-        trace = jittered_trace(n=2000, seed=9)
+    def test_accepts_trace_directly(self, trace_factory):
+        trace = trace_factory("jittered", n=2000, seed=9)
         res = replay(ChenSpec(alpha=0.05, window=50), trace)
         assert res.qos.samples > 0
 
