@@ -1,0 +1,141 @@
+"""Failure-policy overhead and chaos-recovery cost of the experiment engine.
+
+The resilience machinery (``FailurePolicy`` retry accounting, the
+per-attempt timeout thread, quarantine bookkeeping) wraps every replay
+job — so its price on a *clean* run must be negligible, or nobody
+enables it.  This bench times one WAN-1 plan three ways and archives
+``BENCH_exp_resilience.json``:
+
+* ``plain_s``   — historical path, no policy;
+* ``policy_s``  — full policy armed (timeout + retries + continue mode),
+  zero faults: the pure bookkeeping overhead, asserted **< 2%** of the
+  plain run (measured min-of-N to shave scheduler noise);
+* ``chaos_s``   — same plan under a deterministic fault schedule
+  (transient error + transient hang), policy-recovered to completion:
+  what a survived fault storm actually costs.
+
+Both policy paths must stay bit-identical to the plain run — resilience
+may never change a number, only whether the run survives.
+"""
+
+import time
+
+from repro.analysis.experiments import scaled_heartbeats
+from repro.exp import (
+    ChaosSchedule,
+    ExperimentPlan,
+    FailurePolicy,
+    FlakyExecutor,
+    JobFault,
+    SerialExecutor,
+)
+from repro.traces import WAN_1, synthesize
+
+from _common import SEED, bench_stats, emit
+
+#: Timing repetitions per variant.  The two variants are *interleaved*
+#: (plain, policy, plain, policy, …) and their minima compared: load
+#: noise on shared CI boxes only ever inflates a wall-clock measurement,
+#: and interleaving keeps slow drift (another job starting mid-bench)
+#: from landing entirely on one variant.
+ROUNDS = 5
+
+#: Clean-run policy-overhead ceiling (fraction of the plain run).
+OVERHEAD_LIMIT = 0.02
+
+POLICY = FailurePolicy(
+    timeout=120.0, max_retries=2, backoff=0.001, jitter=0.0, mode="continue"
+)
+
+
+def build_plan() -> ExperimentPlan:
+    n = scaled_heartbeats(WAN_1, scale=16)
+    trace = synthesize(WAN_1, n=n, seed=SEED)
+    plan = ExperimentPlan().add_trace("wan1", trace)
+    plan.add_sweep(
+        "wan1", "chen", [0.005, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 0.9],
+        window=1000,
+    )
+    plan.add_sweep(
+        "wan1", "phi", [0.5, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0], window=1000
+    )
+    return plan
+
+
+def run():
+    plan = build_plan()
+    plain_s = policy_s = float("inf")
+    plain = policed = None
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        plain = plan.run(SerialExecutor())
+        plain_s = min(plain_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        policed = plan.run(SerialExecutor(), policy=POLICY)
+        policy_s = min(policy_s, time.perf_counter() - t0)
+    # Chaos: one transient error and one transient hang, both cured by
+    # the policy's first retry (measured once — recovery includes real
+    # backoff sleeps and an abandoned attempt, not pure bookkeeping).
+    sched = ChaosSchedule(
+        {
+            2: JobFault("error", fail_attempts=1),
+            9: JobFault("timeout", fail_attempts=1, hang=30.0),
+        }
+    )
+    chaos_pol = FailurePolicy(
+        timeout=0.75, max_retries=2, backoff=0.001, jitter=0.0, mode="continue"
+    )
+    t0 = time.perf_counter()
+    chaotic = plan.run(FlakyExecutor(sched), policy=chaos_pol)
+    chaos_s = time.perf_counter() - t0
+    return len(plan), plain, plain_s, policed, policy_s, chaotic, chaos_s
+
+
+def test_failure_policy_overhead(benchmark):
+    (
+        n_jobs,
+        plain,
+        plain_s,
+        policed,
+        policy_s,
+        chaotic,
+        chaos_s,
+    ) = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Resilience must not change a single bit of a clean run.
+    assert policed.curves == plain.curves
+    assert not policed.failures
+    # …and a policy-recovered chaotic run converges to the same curves.
+    assert chaotic.curves == plain.curves
+    assert not chaotic.failures
+    overhead = policy_s / plain_s - 1.0
+    assert overhead < OVERHEAD_LIMIT, (
+        f"failure-policy bookkeeping cost {overhead:.1%} of a clean run "
+        f"(limit {OVERHEAD_LIMIT:.0%}): {plain_s:.3f}s -> {policy_s:.3f}s"
+    )
+    lines = [
+        f"Failure-policy overhead: one WAN-1 plan, {n_jobs} replay jobs",
+        f"  plain    : {plain_s:8.3f} s  (no policy, min of {ROUNDS})",
+        f"  policy   : {policy_s:8.3f} s  (timeout+retries armed, zero faults)",
+        f"  overhead : {overhead:8.1%}  (limit {OVERHEAD_LIMIT:.0%})",
+        f"  chaos    : {chaos_s:8.3f} s  (1 transient error + 1 transient "
+        "hang, recovered)",
+        "  curves   : bit-identical across all three runs",
+    ]
+    text = "\n".join(lines)
+    print(f"\n{text}")
+    emit(
+        "exp_resilience",
+        text,
+        {
+            "n_jobs": n_jobs,
+            "timing_rounds": ROUNDS,
+            "plain_s": plain_s,
+            "policy_s": policy_s,
+            "overhead_frac": overhead,
+            "overhead_limit": OVERHEAD_LIMIT,
+            "chaos_s": chaos_s,
+            "chaos_faults": {"error": 1, "timeout": 1},
+            "bit_identical": True,
+            **bench_stats(benchmark),
+        },
+    )

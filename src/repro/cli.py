@@ -6,6 +6,9 @@ Everything the benchmark suite does is also reachable without pytest::
     python -m repro table2 [--scale 64] [--seed 2012]
     python -m repro figure --case WAN-1 [--scale 64] [--jobs 4]
     python -m repro run experiments.toml [--jobs 4] [--output DIR]
+                  [--timeout S] [--retries N] [--on-failure continue]
+                  [--resume] [--shard I/N]
+    python -m repro merge experiments.toml [--output DIR]
     python -m repro ablation-window [--scale 64]
     python -m repro convergence [--sm1 0.005 1.8]
     python -m repro synth --case WAN-3 -o wan3.npz [-n 100000]
@@ -117,16 +120,66 @@ def cmd_figure(args: argparse.Namespace) -> None:
         print(f"\nwrote {len(written)} CSV series to {args.csv}/")
 
 
-def cmd_run(args: argparse.Namespace) -> None:
-    from repro.exp import JobFailedError, load_config, run_config
+def _parse_shard(text: str) -> tuple[int, int]:
+    """``"i/N"`` → ``(i, N)`` with ``0 <= i < N`` (0-based worker index)."""
+    head, sep, tail = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        index, count = int(head), int(tail)
+    except ValueError:
+        raise SystemExit(
+            f"bad --shard {text!r}: expected i/N (e.g. 0/3, 1/3, 2/3)"
+        ) from None
+    if count < 1 or not (0 <= index < count):
+        raise SystemExit(f"bad --shard {text!r}: need 0 <= i < N")
+    return index, count
+
+
+def _policy_from_args(args: argparse.Namespace, base):
+    """Merge --timeout/--retries/--backoff/--on-failure over the config's
+    [run.failures] policy; None when no flag was given (config wins)."""
+    overrides: dict[str, object] = {}
+    if args.timeout is not None:
+        overrides["timeout"] = args.timeout
+    if args.retries is not None:
+        overrides["max_retries"] = args.retries
+    if args.backoff is not None:
+        overrides["backoff"] = args.backoff
+    if args.on_failure is not None:
+        overrides["mode"] = args.on_failure.replace("-", "_")
+    if not overrides:
+        return None
+    import dataclasses
+
+    from repro.errors import ConfigurationError
+    from repro.exp import FailurePolicy
+
+    try:
+        return dataclasses.replace(base or FailurePolicy(), **overrides)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.exp import (
+        ExecutorBrokenError,
+        JobFailedError,
+        load_config,
+        run_config,
+    )
 
     try:
         config = load_config(args.config)
     except Exception as exc:
         raise SystemExit(f"cannot load {args.config}: {exc}")
+    policy = _policy_from_args(args, config.policy)
+    shard = _parse_shard(args.shard) if args.shard else None
     print(
         f"{config.path}: {len(config.traces)} trace(s), "
         f"{len(config.sweeps)} sweep(s), {len(config.plan)} replay jobs"
+        + (f" (shard {shard[0]}/{shard[1]})" if shard else "")
     )
     try:
         outcome = run_config(
@@ -136,8 +189,11 @@ def cmd_run(args: argparse.Namespace) -> None:
             archive=not args.no_archive,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
+            policy=policy,
+            shard=shard,
+            resume=args.resume,
         )
-    except JobFailedError as exc:
+    except (JobFailedError, ExecutorBrokenError, ConfigurationError) as exc:
         raise SystemExit(str(exc))
     for trace_key in outcome.result.curves:
         print()
@@ -152,7 +208,41 @@ def cmd_run(args: argparse.Namespace) -> None:
         f"\nran {outcome.n_jobs} replay jobs in {outcome.elapsed:.2f}s ({mode})"
     )
     if outcome.cache is not None:
-        print(f"cache: {outcome.cache}")
+        label = "resume: " if outcome.resumed else "cache: "
+        print(f"{label}{outcome.cache}")
+    for path in outcome.written:
+        print(f"archived {path}")
+    if outcome.failures:
+        print()
+        print(outcome.failures.summary())
+        if not args.allow_failures:
+            print(
+                "exiting 3: partial curves (pass --allow-failures to accept, "
+                "or re-run to retry the quarantined jobs)"
+            )
+            return 3
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> None:
+    from repro.errors import ConfigurationError
+    from repro.exp import load_config, merge_config
+
+    try:
+        config = load_config(args.config)
+    except Exception as exc:
+        raise SystemExit(f"cannot load {args.config}: {exc}")
+    try:
+        outcome = merge_config(
+            config, output=args.output, cache_dir=args.cache_dir
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"merged {outcome.n_jobs} cached grid points into "
+        f"{len(outcome.result.curves)} trace(s) "
+        f"({len(outcome.written) - 1} curve file(s))"
+    )
     for path in outcome.written:
         print(f"archived {path}")
 
@@ -584,7 +674,72 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay every job from scratch; neither read nor write the cache",
     )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job wall-clock ceiling in seconds (default: unbounded)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts per failing job, with exponential backoff",
+    )
+    p.add_argument(
+        "--backoff",
+        type=float,
+        default=None,
+        metavar="S",
+        help="first-retry delay in seconds (doubles per retry, jittered)",
+    )
+    p.add_argument(
+        "--on-failure",
+        choices=("fail-fast", "continue"),
+        default=None,
+        help="fail-fast aborts on the first unrecoverable job (default); "
+        "continue quarantines it and finishes the rest",
+    )
+    p.add_argument(
+        "--allow-failures",
+        action="store_true",
+        help="exit 0 even when jobs were quarantined (default: exit 3)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a killed run: completed jobs load from the cache, "
+        "only missing grid points replay",
+    )
+    p.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="run only every N-th job (offset I, 0-based); partial curves "
+        "land in shard-I-of-N/ and 'repro merge' reassembles the full set",
+    )
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "merge",
+        help="reassemble full curves from completed --shard runs' shared cache",
+    )
+    p.add_argument("config", help="experiments.toml path (same as the shards ran)")
+    p.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="merged archive directory (default: the run's output directory)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shared result cache (default: cache/ inside the output dir)",
+    )
+    p.set_defaults(func=cmd_merge)
 
     p = sub.add_parser("ablation-window", help="Section V-C window-size study")
     common(p, case_default="WAN-JAIST")
@@ -696,9 +851,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Returns the process exit code: 0 clean, 3 quarantined jobs
+    (``repro run`` without ``--allow-failures``); hard failures raise
+    :class:`SystemExit` with a message (exit code 1)."""
     args = build_parser().parse_args(argv)
     try:
-        args.func(args)
+        rc = args.func(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         try:
@@ -706,7 +864,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         except Exception:
             pass
         return 0
-    return 0
+    return rc or 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

@@ -10,17 +10,50 @@ reassemble in deterministic sweep order regardless of completion order.
 :mod:`repro.exp.cache` the content-addressed result cache that makes
 repeated runs incremental (only changed grid points replay).
 
+Runs are fault-tolerant by declaration: a :class:`FailurePolicy`
+(:mod:`repro.exp.policy`) states per-job timeouts, retry/backoff, and
+whether unrecoverable jobs abort the run or are quarantined into a
+:class:`FailureReport`; the process executor survives worker crashes and
+hangs by respawning its pool; the cache's store-as-you-go discipline
+makes killed runs resumable; and ``--shard i/N`` + ``repro merge``
+(:func:`merge_config`) distribute one plan across independent workers.
+:mod:`repro.exp.chaos` is the deterministic fault-injection harness that
+proves all of it.
+
 The sweep/figure layers (:func:`repro.analysis.sweep.sweep_curve`,
 :func:`repro.analysis.experiments.run_figure`) are thin wrappers over
 this package.
 """
 
-from repro.exp.plan import ExperimentPlan, PlanResult, ReplayJob, SweepDecl
+from repro.exp.plan import (
+    ExperimentPlan,
+    PlanResult,
+    ReplayJob,
+    SweepDecl,
+    check_shard,
+)
+from repro.exp.policy import (
+    CONTINUE,
+    FAIL_FAST,
+    ExecutionResult,
+    FailurePolicy,
+    FailureReport,
+    JobFailure,
+)
 from repro.exp.executors import (
+    ExecutorBrokenError,
     JobFailedError,
     ProcessPoolExecutor,
     SerialExecutor,
     default_jobs,
+)
+from repro.exp.chaos import (
+    ChaosInjectedError,
+    ChaosSchedule,
+    FlakyExecutor,
+    FlakyProcessPoolExecutor,
+    JobFault,
+    chaos_worker,
 )
 from repro.exp.archive import (
     archive_curves,
@@ -31,7 +64,14 @@ from repro.exp.archive import (
     qos_to_dict,
 )
 from repro.exp.cache import CACHE_FORMAT, CacheStats, SweepCache
-from repro.exp.config import ExperimentConfig, RunOutcome, load_config, run_config
+from repro.exp.config import (
+    ExperimentConfig,
+    RunOutcome,
+    load_config,
+    merge_config,
+    run_config,
+    shard_directory,
+)
 
 __all__ = [
     "CACHE_FORMAT",
@@ -41,10 +81,24 @@ __all__ = [
     "PlanResult",
     "ReplayJob",
     "SweepDecl",
+    "check_shard",
+    "FailurePolicy",
+    "FailureReport",
+    "JobFailure",
+    "ExecutionResult",
+    "FAIL_FAST",
+    "CONTINUE",
     "SerialExecutor",
     "ProcessPoolExecutor",
     "JobFailedError",
+    "ExecutorBrokenError",
     "default_jobs",
+    "ChaosSchedule",
+    "JobFault",
+    "ChaosInjectedError",
+    "chaos_worker",
+    "FlakyExecutor",
+    "FlakyProcessPoolExecutor",
     "archive_curves",
     "load_curve",
     "curve_to_dict",
@@ -55,4 +109,6 @@ __all__ = [
     "RunOutcome",
     "load_config",
     "run_config",
+    "merge_config",
+    "shard_directory",
 ]

@@ -121,12 +121,17 @@ def archive_curves(
     directory: str | Path,
     *,
     meta: Mapping[str, Any] | None = None,
+    failures: Any = None,
 ) -> list[Path]:
     """Write one ``CURVE_<trace>_<name>.json`` per curve plus a manifest.
 
     ``curves`` is the ``trace → name → curve`` mapping of a
     :class:`~repro.exp.plan.PlanResult`; ``meta`` lands in the manifest
-    (config path, seed, executor, wall times …).  Returns every path
+    (config path, seed, executor, wall times …).  ``failures`` (the
+    result's :class:`~repro.exp.policy.FailureReport`, if any) persists
+    each curve's quarantined points inside its archive — a partial curve
+    is explicit about *which* grid points are holes and why — and a
+    total ``"quarantined"`` count in the manifest.  Returns every path
     written, manifest last.
     """
     if not curves:
@@ -155,25 +160,29 @@ def archive_curves(
                 "sweep": name,
                 **curve_to_dict(curve),
             }
+            holes = (
+                failures.for_sweep(trace, name) if failures is not None else ()
+            )
+            if holes:
+                payload["failures"] = [f.to_dict() for f in holes]
             path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
             written.append(path)
-            entries.append(
-                {
-                    "trace": trace,
-                    "sweep": name,
-                    "detector": curve.detector,
-                    "file": path.name,
-                    "points": len(curve),
-                }
-            )
+            entry = {
+                "trace": trace,
+                "sweep": name,
+                "detector": curve.detector,
+                "file": path.name,
+                "points": len(curve),
+            }
+            if holes:
+                entry["quarantined"] = len(holes)
+            entries.append(entry)
     manifest = directory / "manifest.json"
+    head: dict[str, Any] = {"format": _FORMAT, "curves": entries}
+    if failures is not None and len(failures):
+        head["quarantined"] = len(failures)
     manifest.write_text(
-        json.dumps(
-            {"format": _FORMAT, "curves": entries, **dict(meta or {})},
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n"
+        json.dumps({**head, **dict(meta or {})}, indent=2, sort_keys=True) + "\n"
     )
     written.append(manifest)
     return written

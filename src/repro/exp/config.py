@@ -16,6 +16,12 @@ Schema::
     output = "curves"          # archive directory, relative to this file
     seed = 2012                # default synthesis seed
 
+    [run.failures]             # optional failure policy (CLI overrides)
+    timeout = 120.0            # per-job wall-clock ceiling [s]
+    max_retries = 2            # extra attempts after the first failure
+    backoff = 0.1              # first-retry delay [s], doubled per retry
+    mode = "continue"          # or "fail_fast" (the default)
+
     [[trace]]
     name = "wan1"              # key sweeps refer to
     profile = "WAN-1"          # a repro.traces profile …
@@ -50,16 +56,34 @@ from repro.errors import ConfigurationError
 from repro.exp.archive import archive_curves
 from repro.exp.cache import CacheStats, SweepCache
 from repro.exp.executors import ProcessPoolExecutor, SerialExecutor
-from repro.exp.plan import ExperimentPlan, PlanResult
+from repro.exp.plan import ExperimentPlan, PlanResult, check_shard
+from repro.exp.policy import FailurePolicy, FailureReport
 from repro.traces import ALL_PROFILES, LAN_REFERENCE, HeartbeatTrace, synthesize
 
-__all__ = ["ExperimentConfig", "RunOutcome", "load_config", "run_config"]
+__all__ = [
+    "ExperimentConfig",
+    "RunOutcome",
+    "load_config",
+    "run_config",
+    "merge_config",
+    "shard_directory",
+]
 
 _PROFILES = {p.name: p for p in (*ALL_PROFILES, LAN_REFERENCE)}
 
-_RUN_KEYS = {"jobs", "output", "seed"}
+_RUN_KEYS = {"jobs", "output", "seed", "failures"}
 _TRACE_KEYS = {"name", "profile", "file", "n", "seed"}
 _SWEEP_KEYS = {"trace", "detector", "name", "grid", "params"}
+_FAILURE_KEYS = {
+    "timeout",
+    "max_retries",
+    "backoff",
+    "backoff_factor",
+    "max_backoff",
+    "jitter",
+    "mode",
+    "seed",
+}
 
 
 @dataclass
@@ -73,6 +97,7 @@ class ExperimentConfig:
     seed: int = 2012
     traces: list[dict[str, Any]] = field(default_factory=list)
     sweeps: list[dict[str, Any]] = field(default_factory=list)
+    policy: FailurePolicy | None = None
 
 
 @dataclass
@@ -82,6 +107,9 @@ class RunOutcome:
     ``cache`` is the run's hit/miss accounting
     (:class:`~repro.exp.cache.CacheStats`), or ``None`` when the run
     bypassed the cache (``use_cache=False`` / ``--no-cache``).
+    ``failures`` records quarantined jobs (empty on a clean run);
+    ``shard`` is the ``(i, n)`` selector of a sharded run; ``resumed``
+    is set when the run was an explicit ``--resume``.
     """
 
     result: PlanResult
@@ -90,6 +118,40 @@ class RunOutcome:
     n_jobs: int
     elapsed: float
     cache: CacheStats | None = None
+    failures: FailureReport = field(default_factory=FailureReport)
+    shard: tuple[int, int] | None = None
+    resumed: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """True when no job was quarantined."""
+        return not self.failures
+
+
+def shard_directory(output: Path, shard: tuple[int, int]) -> Path:
+    """Where shard ``(i, n)``'s partial archive lands under ``output``."""
+    return output / f"shard-{shard[0]}-of-{shard[1]}"
+
+
+def _build_policy(table: Mapping[str, Any], where: str) -> FailurePolicy:
+    if not isinstance(table, Mapping):
+        raise ConfigurationError(f"{where} must be a table")
+    _require_keys(table, _FAILURE_KEYS, where)
+    kwargs: dict[str, Any] = {}
+    for key in _FAILURE_KEYS:
+        if key not in table:
+            continue
+        value = table[key]
+        if key == "mode":
+            kwargs[key] = str(value).replace("-", "_")
+        elif key in ("max_retries", "seed"):
+            kwargs[key] = int(value)
+        else:
+            kwargs[key] = float(value)
+    try:
+        return FailurePolicy(**kwargs)
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"{where}: {exc}") from None
 
 
 def _require_keys(table: Mapping[str, Any], allowed: set[str], where: str) -> None:
@@ -201,6 +263,9 @@ def load_config(path: str | Path) -> ExperimentConfig:
     if jobs < 0:
         raise ConfigurationError(f"{path}: [run] jobs must be >= 0")
     output = run.get("output")
+    policy = None
+    if "failures" in run:
+        policy = _build_policy(run["failures"], f"{path}: [run.failures]")
 
     traces = data.get("trace", [])
     sweeps = data.get("sweep", [])
@@ -235,6 +300,7 @@ def load_config(path: str | Path) -> ExperimentConfig:
         seed=seed,
         traces=trace_meta,
         sweeps=sweep_meta,
+        policy=policy,
     )
 
 
@@ -246,6 +312,10 @@ def run_config(
     archive: bool = True,
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
+    policy: FailurePolicy | None = None,
+    shard: tuple[int, int] | None = None,
+    resume: bool = False,
+    instruments=None,
 ) -> RunOutcome:
     """Execute a loaded config and archive its curves.
 
@@ -257,48 +327,153 @@ def run_config(
 
     Runs are incremental by default: results are cached under
     ``cache_dir`` (default: a ``cache/`` subdirectory of the archive
-    directory) keyed by trace fingerprint + family + spec, so a rerun
-    over unchanged inputs replays nothing and reassembles bit-identical
-    curves.  ``use_cache=False`` (``--no-cache``) bypasses both reads
-    and writes; with ``archive=False`` and no explicit ``cache_dir``
-    there is nowhere to persist, so the cache is skipped too.
+    directory) keyed by trace fingerprint + family + spec, and each
+    completed job is persisted *as it finishes*, so a run killed partway
+    leaves its work on disk.  ``use_cache=False`` (``--no-cache``)
+    bypasses both reads and writes; with ``archive=False`` and no
+    explicit ``cache_dir`` there is nowhere to persist, so the cache is
+    skipped too.
+
+    ``policy`` overrides the config's ``[run.failures]`` table.
+    ``resume=True`` (``--resume``) asserts the crash-safe path: it
+    requires the cache and reports how much prior work was reused.
+    ``shard=(i, n)`` executes only every ``n``-th job (offset ``i``) and
+    archives the partial curves under ``shard-<i>-of-<n>/`` inside the
+    output directory, while sharing the *top-level* cache directory with
+    the other shards — :func:`merge_config` reassembles the full,
+    bit-identical archive once every shard has run.
     """
     n = config.jobs if jobs is None else int(jobs)
-    executor = ProcessPoolExecutor(jobs=n) if n != 1 else SerialExecutor()
+    pol = policy if policy is not None else config.policy
+    executor = (
+        ProcessPoolExecutor(jobs=n, policy=pol)
+        if n != 1
+        else SerialExecutor(policy=pol)
+    )
     directory = (
         Path(output)
         if output is not None
         else (config.output or config.path.parent / f"{config.path.stem}_curves")
     )
+    if shard is not None:
+        shard = check_shard(shard)
+    if resume and not use_cache:
+        raise ConfigurationError(
+            "--resume needs the cache (it is how completed work is found); "
+            "drop --no-cache"
+        )
     cache = None
     if use_cache:
         if cache_dir is not None:
             cache = SweepCache(cache_dir)
         elif archive:
+            # Shards share the top-level cache, not their own subdirs —
+            # that shared directory is what merge reassembles from.
             cache = SweepCache(directory / "cache")
+        elif resume:
+            raise ConfigurationError(
+                "--resume with --no-archive needs an explicit --cache-dir"
+            )
     t0 = time.perf_counter()
-    result = config.plan.run(executor, cache=cache)
+    result = config.plan.run(
+        executor, cache=cache, policy=pol, shard=shard, instruments=instruments
+    )
     elapsed = time.perf_counter() - t0
     effective = getattr(executor, "jobs", 1)
     written: list[Path] = []
     if archive:
+        target = directory if shard is None else shard_directory(directory, shard)
+        meta: dict[str, Any] = {
+            "config": str(config.path),
+            "seed": config.seed,
+            "jobs": effective,
+            "replays": len(config.plan),
+            "wall_s": elapsed,
+            "traces": config.traces,
+            "sweeps": config.sweeps,
+        }
+        if shard is not None:
+            meta["shard"] = {"index": shard[0], "count": shard[1]}
         written = archive_curves(
-            result.curves,
-            directory,
-            meta={
-                "config": str(config.path),
-                "seed": config.seed,
-                "jobs": effective,
-                "replays": len(config.plan),
-                "wall_s": elapsed,
-                "traces": config.traces,
-                "sweeps": config.sweeps,
-            },
+            result.curves, target, meta=meta, failures=result.failures
         )
     return RunOutcome(
         result=result,
         written=written,
         jobs=effective,
+        n_jobs=len(config.plan),
+        elapsed=elapsed,
+        cache=result.cache,
+        failures=result.failures,
+        shard=shard,
+        resumed=resume,
+    )
+
+
+class _MergeExecutor:
+    """Executor that refuses to execute: merge must be 100% cache hits.
+
+    :func:`merge_config` runs the plan with this executor so curve
+    reassembly, ordering, and archiving reuse the one battle-tested
+    path; any job the cache cannot satisfy names itself here instead of
+    silently re-running (a merge is a *reassembly*, never a replay).
+    """
+
+    jobs = 0  # advertised fan-out: merge replays nothing
+
+    def run(self, jobs, views, *, instruments=None):
+        named = "; ".join(j.describe() for j in jobs[:3])
+        raise ConfigurationError(
+            f"merge: {len(jobs)} grid point(s) missing from the cache "
+            f"({named}{'…' if len(jobs) > 3 else ''}) — run the missing "
+            "shard(s) first, or re-run quarantined jobs to completion"
+        )
+
+
+def merge_config(
+    config: ExperimentConfig,
+    *,
+    output: str | Path | None = None,
+    cache_dir: str | Path | None = None,
+) -> RunOutcome:
+    """Reassemble the full curve archive from completed shards' cache.
+
+    Every shard of a ``repro run --shard i/N`` fleet stores its reports
+    into the shared content-addressed cache; once all shards have run,
+    this loads every grid point from that cache — replaying nothing —
+    and writes the merged archive exactly as an unsharded run would
+    have.  Content addressing (view fingerprint + family + spec) is what
+    makes the merged curves *bit-identical* to a clean single-process
+    run.  Raises :class:`~repro.errors.ConfigurationError`, naming the
+    missing jobs, if any shard has not completed.
+    """
+    directory = (
+        Path(output)
+        if output is not None
+        else (config.output or config.path.parent / f"{config.path.stem}_curves")
+    )
+    cache = SweepCache(cache_dir if cache_dir is not None else directory / "cache")
+    t0 = time.perf_counter()
+    result = config.plan.run(_MergeExecutor(), cache=cache)
+    elapsed = time.perf_counter() - t0
+    written = archive_curves(
+        result.curves,
+        directory,
+        meta={
+            "config": str(config.path),
+            "seed": config.seed,
+            "jobs": 0,
+            "merged": True,
+            "replays": len(config.plan),
+            "wall_s": elapsed,
+            "traces": config.traces,
+            "sweeps": config.sweeps,
+        },
+    )
+    return RunOutcome(
+        result=result,
+        written=written,
+        jobs=0,
         n_jobs=len(config.plan),
         elapsed=elapsed,
         cache=result.cache,

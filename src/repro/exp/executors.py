@@ -1,51 +1,131 @@
 """Pluggable executors: run a plan's jobs serially or across processes.
 
-The contract is tiny: ``run(jobs, views, instruments=None)`` takes the
-flat :class:`~repro.exp.plan.ReplayJob` list plus the plan's named
-:class:`~repro.traces.trace.MonitorView`\\ s and returns ``{job.index:
-QoSReport}``.  Completion order is irrelevant — the plan reassembles
-curves by index — so :class:`ProcessPoolExecutor` is free to fan jobs out
-across every core.
+The contract: ``run(jobs, views, instruments=None, policy=None,
+on_result=None)`` takes the flat :class:`~repro.exp.plan.ReplayJob` list
+plus the plan's named :class:`~repro.traces.trace.MonitorView`\\ s and
+returns an :class:`~repro.exp.policy.ExecutionResult` — ``{job.index:
+QoSReport}`` for everything that completed, plus the
+:class:`~repro.exp.policy.JobFailure` records of anything quarantined.
+Completion order is irrelevant — the plan reassembles curves by index —
+so :class:`ProcessPoolExecutor` is free to fan jobs out across every
+core.  ``on_result(job, qos)`` streams each completed report home the
+moment it exists (the plan uses it to persist results into the
+:class:`~repro.exp.cache.SweepCache` *as they finish*, which is what
+makes a killed run resumable).
 
 Process fan-out uses the ``fork`` start method where available (Linux,
 the benchmark environment): the view table travels to each worker as
 pool ``initargs``, which under ``fork`` are inherited through process
 memory — multi-million-sample arrival arrays are shared copy-on-write
 with zero serialization.  On platforms without ``fork`` the same
-initargs travel by pickle instead (both
-:class:`~repro.traces.trace.MonitorView` and every registry spec are
-picklable; specs round-trip through ``to_dict``/``from_dict``).  No
-parent-process state is mutated, so concurrent ``run`` calls from
-different threads are safe.
+initargs travel by pickle instead.  No parent-process state is mutated,
+so concurrent ``run`` calls from different threads are safe.
 
-A failing job never hangs the pool: the worker catches everything and
-ships the traceback home, where it is raised as :class:`JobFailedError`
-carrying the offending job's spec.
+Failure handling is driven by a declarative
+:class:`~repro.exp.policy.FailurePolicy`:
+
+* a job that *raises* ships its traceback home and is retried with
+  jittered exponential backoff up to ``max_retries`` times;
+* a job past the per-job wall-clock ``timeout`` is *hung*: the serial
+  executor abandons its worker thread, the pool executor kills the
+  worker processes, respawns the pool, and re-dispatches every innocent
+  in-flight job at no attempt cost;
+* a *dead worker process* (``BrokenProcessPool``) marks every in-flight
+  job as a crash suspect and respawns the pool; a suspect that exhausts
+  its retries is re-run **alone** in a fresh pool before judgment, so a
+  job is only ever blamed for a crash it demonstrably causes
+  (:class:`ExecutorBrokenError` carries that verified job) and innocent
+  bystanders are never quarantined for sharing a pool with a poisoned
+  job;
+* under ``mode="continue"`` an unrecoverable job is quarantined instead
+  of aborting the run — every other grid point still completes.
+
+With no policy (or ``mode="fail_fast"``, ``max_retries=0``) behavior is
+the historical one: the first failing job cancels all pending work and
+surfaces as :class:`JobFailedError` with the worker's full traceback.
 """
 
 from __future__ import annotations
 
+import math
 import os
+import queue
+import threading
+import time
 import traceback
+from collections import deque
 from concurrent import futures
-from typing import Mapping
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Mapping
 
 from repro.errors import ReproError
 from repro.exp.plan import ReplayJob
+from repro.exp.policy import ExecutionResult, FailurePolicy, JobFailure
 from repro.qos.spec import QoSReport
 from repro.replay.engine import replay
 from repro.traces.trace import MonitorView
 
-__all__ = ["JobFailedError", "SerialExecutor", "ProcessPoolExecutor", "default_jobs"]
+__all__ = [
+    "JobFailedError",
+    "ExecutorBrokenError",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "default_jobs",
+]
 
 
 class JobFailedError(ReproError, RuntimeError):
-    """One replay job raised; carries the job (spec included) + traceback."""
+    """One replay job failed terminally; carries the job + last traceback.
 
-    def __init__(self, job: ReplayJob, tb: str):
-        super().__init__(f"{job.describe()} failed:\n{tb.rstrip()}")
+    ``kind`` distinguishes a raised exception (``"error"``) from a job
+    that exceeded the policy's wall-clock ceiling (``"timeout"``);
+    ``attempts`` counts how many tries the policy allowed it.
+    """
+
+    def __init__(
+        self, job: ReplayJob, tb: str, *, kind: str = "error", attempts: int = 1
+    ):
+        detail = tb.rstrip() if tb else f"no traceback ({kind})"
+        word = "timed out" if kind == "timeout" else "failed"
+        tries = f" after {attempts} attempt(s)" if attempts > 1 else ""
+        super().__init__(f"{job.describe()} {word}{tries}:\n{detail}")
         self.job = job
         self.traceback = tb
+        self.kind = kind
+        self.attempts = attempts
+
+
+class ExecutorBrokenError(ReproError, RuntimeError):
+    """A worker process died (``BrokenProcessPool``), traced to its job.
+
+    Raised instead of leaking the raw stdlib traceback.  ``job`` is the
+    offending job when the crash was verified in isolation (the pool
+    re-runs an exhausted crash suspect alone before judging it);
+    ``suspects`` lists every job that was in flight when a pool broke.
+    """
+
+    def __init__(
+        self,
+        job: ReplayJob | None,
+        *,
+        suspects: tuple[ReplayJob, ...] = (),
+        attempts: int = 1,
+    ):
+        if job is not None:
+            msg = (
+                f"worker process died while running {job.describe()} "
+                f"(verified in isolation, {attempts} attempt(s))"
+            )
+        else:
+            named = ", ".join(j.describe() for j in suspects[:3])
+            msg = (
+                f"worker process died; {len(suspects)} job(s) were in flight: "
+                f"{named}{'…' if len(suspects) > 3 else ''}"
+            )
+        super().__init__(msg)
+        self.job = job
+        self.suspects = suspects if suspects else ((job,) if job else ())
+        self.attempts = attempts
 
 
 def default_jobs() -> int:
@@ -58,13 +138,75 @@ def _execute(job: ReplayJob, view: MonitorView, instruments=None) -> QoSReport:
     return replay(job.spec, view, instruments=instruments).qos
 
 
+def _retry_hook(instruments, kind: str, job: ReplayJob) -> None:
+    if instruments is not None:
+        instruments.on_job_retry(kind, job.describe())
+
+
+def _quarantine_hook(instruments, failure: JobFailure) -> None:
+    if instruments is not None:
+        instruments.on_job_quarantined(failure.kind, failure.job.describe())
+
+
+class _TimeoutRunner:
+    """One reusable daemon thread that runs attempts under a deadline.
+
+    Created once per run (not per attempt — thread spawn plus scheduler
+    latency costs milliseconds per job on a busy box, which is exactly
+    the kind of clean-run overhead the failure policy must not add).
+    ``attempt`` hands a thunk to the worker thread and waits up to
+    ``timeout`` for the answer; a miss means the thread is stuck inside
+    the job, so the whole runner is *poisoned* — the caller discards it
+    and builds a fresh one, leaving the daemonic thread to be orphaned.
+    """
+
+    def __init__(self) -> None:
+        self._in: queue.SimpleQueue = queue.SimpleQueue()
+        self._out: queue.SimpleQueue = queue.SimpleQueue()
+        threading.Thread(
+            target=self._loop, name="repro-exp-attempt", daemon=True
+        ).start()
+
+    def _loop(self) -> None:
+        while True:
+            fn = self._in.get()
+            try:
+                self._out.put(("ok", fn(), None))
+            except Exception:
+                self._out.put(("err", None, traceback.format_exc()))
+
+    def attempt(
+        self, fn: Callable[[], QoSReport], timeout: float
+    ) -> tuple[QoSReport | None, str | None, str | None]:
+        """``(qos, kind, traceback)``; ``kind="timeout"`` poisons the runner."""
+        self._in.put(fn)
+        try:
+            status, value, tb = self._out.get(timeout=timeout)
+        except queue.Empty:
+            return None, "timeout", None
+        if status == "err":
+            return None, "error", tb
+        return value, None, None
+
+
 class SerialExecutor:
     """Run jobs in order, in-process.
 
-    The reference executor: zero overhead, deterministic, and the only
-    one that can thread a live :class:`repro.obs.Instruments` bundle
-    through every replay.
+    The reference executor: deterministic, and the only one that can
+    thread a live :class:`repro.obs.Instruments` bundle through every
+    replay.  With no policy (or no ``timeout``) a job runs inline at
+    zero overhead; a per-job ``timeout`` moves attempts onto one
+    persistent worker thread (:class:`_TimeoutRunner`) so a hung replay
+    can be abandoned — the thread is daemonic, it cannot be killed, only
+    orphaned — and the run go on.
     """
+
+    def __init__(self, policy: FailurePolicy | None = None):
+        self.policy = policy
+
+    # Chaos harnesses (repro.exp.chaos) override this one seam.
+    def _call(self, job: ReplayJob, view, instruments, attempt: int) -> QoSReport:
+        return _execute(job, view, instruments)
 
     def run(
         self,
@@ -72,14 +214,59 @@ class SerialExecutor:
         views: Mapping[str, MonitorView],
         *,
         instruments=None,
-    ) -> dict[int, QoSReport]:
-        out: dict[int, QoSReport] = {}
+        policy: FailurePolicy | None = None,
+        on_result: Callable[[ReplayJob, QoSReport], None] | None = None,
+    ) -> ExecutionResult:
+        pol = policy if policy is not None else (self.policy or FailurePolicy())
+        reports: dict[int, QoSReport] = {}
+        failures: list[JobFailure] = []
+        runner: _TimeoutRunner | None = None
+
+        def one_attempt(job: ReplayJob, attempt: int):
+            nonlocal runner
+            if pol.timeout is None:
+                try:
+                    qos = self._call(job, views[job.trace], instruments, attempt)
+                    return qos, None, None
+                except Exception:
+                    return None, "error", traceback.format_exc()
+            if runner is None:
+                runner = _TimeoutRunner()
+            qos, kind, tb = runner.attempt(
+                lambda: self._call(job, views[job.trace], instruments, attempt),
+                pol.timeout,
+            )
+            if kind == "timeout":
+                runner = None  # stuck inside the job — abandon the thread
+            return qos, kind, tb
+
         for job in jobs:
-            try:
-                out[job.index] = _execute(job, views[job.trace], instruments)
-            except Exception:
-                raise JobFailedError(job, traceback.format_exc()) from None
-        return out
+            failure: JobFailure | None = None
+            for attempt in range(int(pol.max_retries) + 1):
+                if attempt:
+                    _retry_hook(instruments, failure.kind, job)
+                    time.sleep(pol.delay(job.index, attempt))
+                qos, kind, tb = one_attempt(job, attempt)
+                if kind is None:
+                    reports[job.index] = qos
+                    if on_result is not None:
+                        on_result(job, qos)
+                    failure = None
+                    break
+                failure = JobFailure(
+                    job=job, kind=kind, attempts=attempt + 1, traceback=tb
+                )
+            if failure is not None:
+                if pol.fail_fast:
+                    raise JobFailedError(
+                        job,
+                        failure.traceback or "",
+                        kind=failure.kind,
+                        attempts=failure.attempts,
+                    ) from None
+                _quarantine_hook(instruments, failure)
+                failures.append(failure)
+        return ExecutionResult(reports=reports, failures=tuple(failures))
 
 
 # ------------------------------------------------------------------ #
@@ -99,7 +286,7 @@ def _init_worker(views: Mapping[str, MonitorView]) -> None:
     _WORKER_VIEWS = views
 
 
-def _run_job(job: ReplayJob):
+def _run_job(job: ReplayJob, attempt: int = 0):
     """Worker body: never raises — failures travel home as tracebacks."""
     try:
         views = _WORKER_VIEWS
@@ -110,6 +297,26 @@ def _run_job(job: ReplayJob):
         return job.index, None, traceback.format_exc()
 
 
+def _kill_pool(pool: futures.ProcessPoolExecutor) -> None:
+    """Hard-stop a pool: terminate its workers, then reap it.
+
+    ``shutdown`` alone would wait for a hung job forever; there is no
+    public per-worker kill, so this reaches for the executor's process
+    table (stable across CPython 3.8–3.13) and falls back to a plain
+    non-waiting shutdown where it is absent.
+    """
+    procs = getattr(pool, "_processes", None)
+    for proc in list((procs or {}).values()):
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - already dead
+            pass
+    try:
+        pool.shutdown(wait=procs is not None, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
 class ProcessPoolExecutor:
     """Fan jobs out across worker processes (one replay per worker task).
 
@@ -118,23 +325,45 @@ class ProcessPoolExecutor:
     jobs:
         Worker count; ``None``/``0`` means every available core.  ``1``
         degrades gracefully to in-process serial execution (no pool).
+    policy:
+        Default :class:`~repro.exp.policy.FailurePolicy`; a ``policy=``
+        passed to :meth:`run` (what :meth:`ExperimentPlan.run
+        <repro.exp.plan.ExperimentPlan.run>` does) overrides it.
 
     Notes
     -----
     * Results are keyed by job index, so curves reassemble in sweep
       order no matter which worker finishes first — parallel output is
       bit-identical to :class:`SerialExecutor`.
-    * ``instruments`` is accepted for interface parity but not threaded
-      into workers (per-process registries cannot be merged); pass an
-      instruments bundle to :class:`SerialExecutor` instead.
-    * The first failing job cancels all pending work and surfaces as
-      :class:`JobFailedError` with the worker's full traceback.
+    * At most ``jobs`` futures are in flight at a time (refilled as they
+      complete), so a submitted job is *executing*, which is what makes
+      the per-job wall-clock timeout and crash attribution meaningful.
+    * ``instruments`` is not threaded into workers (per-process
+      registries cannot be merged); the *driver-side* failure hooks
+      (retries, timeouts, quarantines, pool respawns) do fire on it.
+    * A dead worker (``BrokenProcessPool``) never leaks a raw stdlib
+      traceback: suspects are retried, verified in isolation, and the
+      verdict surfaces as :class:`ExecutorBrokenError` naming the job.
     """
 
-    def __init__(self, jobs: int | None = None):
+    #: Driver poll period [s]: how often in-flight futures are checked
+    #: for completion/deadlines when nothing completes on its own.
+    _TICK = 0.05
+
+    def __init__(self, jobs: int | None = None, policy: FailurePolicy | None = None):
         self.jobs = int(jobs) if jobs else default_jobs()
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+        self.policy = policy
+
+    # Chaos harnesses override these two seams.
+    def _worker_task(self):
+        """The picklable callable submitted to the pool: ``task(job, attempt)``."""
+        return _run_job
+
+    def _inline_ok(self) -> bool:
+        """Whether degrading to in-process serial execution is allowed."""
+        return True
 
     def run(
         self,
@@ -142,31 +371,186 @@ class ProcessPoolExecutor:
         views: Mapping[str, MonitorView],
         *,
         instruments=None,
-    ) -> dict[int, QoSReport]:
-        if self.jobs == 1 or len(jobs) <= 1:
-            return SerialExecutor().run(jobs, views, instruments=instruments)
+        policy: FailurePolicy | None = None,
+        on_result: Callable[[ReplayJob, QoSReport], None] | None = None,
+    ) -> ExecutionResult:
+        pol = policy if policy is not None else self.policy
+        if self._inline_ok() and (self.jobs == 1 or len(jobs) <= 1):
+            return SerialExecutor().run(
+                jobs, views, instruments=instruments, policy=pol, on_result=on_result
+            )
+        pol = pol or FailurePolicy()
         import multiprocessing
 
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
             ctx = multiprocessing.get_context()
-        with futures.ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(jobs)),
-            mp_context=ctx,
-            initializer=_init_worker,
-            initargs=(views,),
-        ) as pool:
-            pending = {pool.submit(_run_job, job): job for job in jobs}
-            out: dict[int, QoSReport] = {}
+
+        task = self._worker_task()
+        by_index = {j.index: j for j in jobs}
+        attempts: dict[int, int] = {j.index: 0 for j in jobs}  # failures so far
+        not_before: dict[int, float] = {}
+        queue: deque[int] = deque(j.index for j in jobs)
+        solo: deque[int] = deque()  # crash suspects awaiting isolated verification
+        reports: dict[int, QoSReport] = {}
+        failures: list[JobFailure] = []
+
+        def give_up(failure: JobFailure) -> None:
+            if pol.fail_fast:
+                if failure.kind == "crash":
+                    raise ExecutorBrokenError(
+                        failure.job, attempts=failure.attempts
+                    ) from None
+                raise JobFailedError(
+                    failure.job,
+                    failure.traceback or "",
+                    kind=failure.kind,
+                    attempts=failure.attempts,
+                ) from None
+            _quarantine_hook(instruments, failure)
+            failures.append(failure)
+
+        def register_failure(
+            index: int, kind: str, tb: str | None, *, verified: bool
+        ) -> None:
+            """Count one failed attempt; retry, isolate, or give up."""
+            attempts[index] += 1
+            failure = JobFailure(
+                job=by_index[index], kind=kind, attempts=attempts[index], traceback=tb
+            )
+            if attempts[index] <= pol.max_retries:
+                _retry_hook(instruments, kind, by_index[index])
+                not_before[index] = time.monotonic() + pol.delay(
+                    index, attempts[index]
+                )
+                queue.append(index)
+            elif kind == "crash" and not verified:
+                # Exhausted, but the blame is circumstantial (the whole
+                # pool died).  Re-run alone before quarantining, so a job
+                # is only ever condemned for a crash it causes itself.
+                solo.append(index)
+            else:
+                give_up(failure)
+
+        def pop_ready(source: deque[int], now: float) -> int | None:
+            """Next index whose backoff has elapsed, preserving order."""
+            for _ in range(len(source)):
+                index = source.popleft()
+                if not_before.get(index, 0.0) <= now:
+                    return index
+                source.append(index)
+            return None
+
+        def run_generation(source: deque[int], capacity: int, verified: bool) -> None:
+            """One pool lifetime; returns when its queue drains or it breaks."""
+            pool = futures.ProcessPoolExecutor(
+                max_workers=capacity,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(views,),
+            )
+            inflight: dict[futures.Future, tuple[int, float]] = {}
+            killed = False
             try:
-                for fut in futures.as_completed(pending):
-                    index, qos, tb = fut.result()
-                    if tb is not None:
-                        raise JobFailedError(pending[fut], tb)
-                    out[index] = qos
-            except JobFailedError:
-                for fut in pending:
-                    fut.cancel()
-                raise
-            return out
+                while source or inflight:
+                    now = time.monotonic()
+                    while len(inflight) < capacity and source:
+                        index = pop_ready(source, now)
+                        if index is None:
+                            break
+                        try:
+                            fut = pool.submit(task, by_index[index], attempts[index])
+                        except BrokenProcessPool:
+                            # Broke between waits: the job being submitted
+                            # never started — requeue it at no cost.
+                            source.appendleft(index)
+                            raise
+                        deadline = (
+                            now + pol.timeout if pol.timeout is not None else math.inf
+                        )
+                        inflight[fut] = (index, deadline)
+                    if not inflight:
+                        pause = min(
+                            (not_before.get(i, 0.0) for i in source),
+                            default=now,
+                        )
+                        time.sleep(max(0.0, min(pause - now, self._TICK)) or 0.001)
+                        continue
+                    done, _ = futures.wait(
+                        set(inflight),
+                        timeout=self._TICK,
+                        return_when=futures.FIRST_COMPLETED,
+                    )
+                    crashed = False
+                    for fut in done:
+                        index, _deadline = inflight.pop(fut)
+                        try:
+                            _idx, qos, tb = fut.result()
+                        except BrokenProcessPool:
+                            crashed = True
+                            register_failure(index, "crash", None, verified=verified)
+                            continue
+                        if tb is not None:
+                            register_failure(index, "error", tb, verified=verified)
+                        else:
+                            reports[index] = qos
+                            if on_result is not None:
+                                on_result(by_index[index], qos)
+                    if crashed:
+                        raise BrokenProcessPool("worker process died")
+                    if pol.timeout is not None:
+                        now = time.monotonic()
+                        hung = [
+                            (fut, index)
+                            for fut, (index, deadline) in inflight.items()
+                            if now > deadline
+                        ]
+                        if hung:
+                            # Innocents go back at no attempt cost; the
+                            # hung job pays one.  Kill the pool — there is
+                            # no way to stop a single running future.
+                            for fut, index in hung:
+                                inflight.pop(fut)
+                                register_failure(
+                                    index, "timeout", None, verified=verified
+                                )
+                            for index, _deadline in inflight.values():
+                                source.appendleft(index)
+                            inflight.clear()
+                            killed = True
+                            _kill_pool(pool)
+                            if instruments is not None:
+                                instruments.on_pool_respawn("timeout")
+                            return
+            except BrokenProcessPool:
+                # Every job still in flight is a suspect: the worker that
+                # died does not say which task it held.
+                killed = True
+                for index, _deadline in list(inflight.values()):
+                    register_failure(index, "crash", None, verified=verified)
+                inflight.clear()
+                _kill_pool(pool)
+                if instruments is not None:
+                    instruments.on_pool_respawn("crash")
+                return
+            finally:
+                if killed:
+                    _kill_pool(pool)
+                else:
+                    pool.shutdown(wait=True, cancel_futures=True)
+
+        try:
+            while queue or solo:
+                if queue:
+                    run_generation(
+                        queue, min(self.jobs, len(queue) or 1), verified=False
+                    )
+                else:
+                    # Isolated verification: one suspect, one fresh pool.
+                    lone: deque[int] = deque([solo.popleft()])
+                    run_generation(lone, 1, verified=True)
+                    queue.extend(lone)  # retries scheduled during the solo run
+        except (JobFailedError, ExecutorBrokenError):
+            raise
+        return ExecutionResult(reports=reports, failures=tuple(failures))

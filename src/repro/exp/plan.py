@@ -28,17 +28,61 @@ lives in :mod:`repro.exp.config`.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence, Union
 
 from repro.detectors.registry import DetectorFamily, get as get_family
 from repro.errors import ConfigurationError
 from repro.exp.archive import check_archive_name
+from repro.exp.policy import ExecutionResult, FailureReport
 from repro.qos.area import QoSCurve
 from repro.qos.spec import QoSReport
 from repro.traces.trace import HeartbeatTrace, MonitorView
 
-__all__ = ["ReplayJob", "SweepDecl", "ExperimentPlan", "PlanResult"]
+__all__ = [
+    "ReplayJob",
+    "SweepDecl",
+    "ExperimentPlan",
+    "PlanResult",
+    "check_shard",
+]
+
+
+def check_shard(shard: tuple[int, int]) -> tuple[int, int]:
+    """Validate an ``(i, n)`` shard selector; returns it normalized."""
+    try:
+        index, count = int(shard[0]), int(shard[1])
+    except (TypeError, ValueError, IndexError):
+        raise ConfigurationError(
+            f"shard must be an (i, n) pair, got {shard!r}"
+        ) from None
+    if count < 1 or not (0 <= index < count):
+        raise ConfigurationError(
+            f"shard index must satisfy 0 <= i < n, got i={index}, n={count}"
+        )
+    return index, count
+
+
+def _executor_kwargs(executor, **candidates) -> dict:
+    """Keyword args (of ``candidates``, non-None) the executor accepts.
+
+    Third-party executors predating the failure policy keep working: a
+    ``run`` signature without ``policy``/``on_result`` simply never sees
+    them.  ``**kwargs``-style signatures receive everything.
+    """
+    try:
+        params = inspect.signature(executor.run).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins/C funcs
+        return {}
+    catch_all = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+    return {
+        key: value
+        for key, value in candidates.items()
+        if value is not None and (catch_all or key in params)
+    }
 
 
 @dataclass(frozen=True)
@@ -221,23 +265,49 @@ class ExperimentPlan:
 
     # -- execution ------------------------------------------------------ #
 
-    def run(self, executor=None, *, instruments=None, cache=None) -> "PlanResult":
+    def run(
+        self,
+        executor=None,
+        *,
+        instruments=None,
+        cache=None,
+        policy=None,
+        shard: tuple[int, int] | None = None,
+    ) -> "PlanResult":
         """Execute every job and reassemble curves in sweep order.
 
         ``executor`` defaults to a fresh
         :class:`~repro.exp.executors.SerialExecutor`; any object with
-        ``run(jobs, views, instruments=None) -> Mapping[int, QoSReport]``
-        works.  Reassembly is by job index, so executors are free to
-        complete jobs in any order.
+        ``run(jobs, views, instruments=None)`` works — returning either a
+        bare ``{index: QoSReport}`` mapping (the historical contract) or
+        an :class:`~repro.exp.policy.ExecutionResult` carrying
+        quarantined-job records alongside the reports.  Reassembly is by
+        job index, so executors are free to complete jobs in any order.
 
         ``cache`` (a :class:`~repro.exp.cache.SweepCache`) makes the run
-        incremental: jobs are partitioned into *hits* — whose reports are
-        loaded from the cache with zero replay — and *misses*, which are
-        handed to the executor and stored afterwards.  Keys cover the
-        view fingerprint, family, and full spec, so a cached run over
+        incremental *and crash-safe*: jobs are partitioned into *hits* —
+        whose reports are loaded from the cache with zero replay — and
+        *misses*, which are handed to the executor.  Each miss is stored
+        **the moment its report exists** (via the executor's
+        ``on_result`` streaming callback when it supports one), so a run
+        killed partway leaves every completed grid point on disk and a
+        rerun replays only the remainder.  Keys cover the view
+        fingerprint, family, and full spec, so a cached run over
         unchanged inputs reassembles curves bit-identically to a cold
-        one; per-run hit/miss counts land on
-        :attr:`PlanResult.cache`.
+        one; per-run hit/miss counts land on :attr:`PlanResult.cache`.
+
+        ``policy`` (a :class:`~repro.exp.policy.FailurePolicy`) is
+        forwarded to executors that accept one.  Under ``continue`` mode,
+        jobs that exhaust their retries are *quarantined*: their curves
+        render with explicit holes (the point is simply absent) and the
+        run's :class:`~repro.exp.policy.FailureReport` lands on
+        :attr:`PlanResult.failures`.
+
+        ``shard=(i, n)`` restricts execution to every job with
+        ``index % n == i`` (round-robin, so each shard samples every
+        sweep).  Out-of-shard points are left as holes unless the cache
+        already holds them; :func:`repro.exp.config.merge_config`
+        reassembles full curves from shards sharing a cache directory.
         """
         if executor is None:
             from repro.exp.executors import SerialExecutor
@@ -245,10 +315,16 @@ class ExperimentPlan:
             executor = SerialExecutor()
         if not self._sweeps:
             raise ConfigurationError("plan declares no sweeps")
+        if shard is not None:
+            shard = check_shard(shard)
         jobs = self.jobs()
+        mine = [
+            j for j in jobs if shard is None or j.index % shard[1] == shard[0]
+        ]
         reports: dict[int, QoSReport] = {}
-        misses = jobs
+        misses = mine
         keys: dict[int, str] = {}
+        fingerprints: dict[str, str] = {}
         stats = None
         if cache is not None:
             fingerprints = {
@@ -259,38 +335,61 @@ class ExperimentPlan:
                 key = cache.key(fingerprints[job.trace], job.family, job.spec)
                 keys[job.index] = key
                 qos = cache.load(key)
-                if qos is None:
-                    misses.append(job)
-                else:
+                if qos is not None:
                     reports[job.index] = qos
+                elif shard is None or job.index % shard[1] == shard[0]:
+                    misses.append(job)
+
+        def store(job: ReplayJob, qos: QoSReport) -> None:
+            cache.store(
+                keys[job.index],
+                qos,
+                meta={
+                    "trace": job.trace,
+                    "sweep": job.sweep,
+                    "family": job.family,
+                    "parameter": job.parameter,
+                    "view": fingerprints[job.trace],
+                },
+            )
+
+        failures: tuple = ()
         if misses:
-            executed = executor.run(misses, self.views, instruments=instruments)
+            kwargs = _executor_kwargs(
+                executor,
+                policy=policy,
+                on_result=store if cache is not None else None,
+            )
+            executed = executor.run(
+                misses, self.views, instruments=instruments, **kwargs
+            )
+            if isinstance(executed, ExecutionResult):
+                failures = executed.failures
+                executed = dict(executed.reports)
+            else:
+                executed = dict(executed)
             if cache is not None:
-                for job in misses:
-                    if job.index not in executed:
-                        continue  # surfaced as missing below
-                    cache.store(
-                        keys[job.index],
-                        executed[job.index],
-                        meta={
-                            "trace": job.trace,
-                            "sweep": job.sweep,
-                            "family": job.family,
-                            "parameter": job.parameter,
-                            "view": fingerprints[job.trace],
-                        },
-                    )
+                if "on_result" not in kwargs:
+                    # Executor predates streaming — store after the fact.
+                    for job in misses:
+                        if job.index in executed:
+                            store(job, executed[job.index])
                 cache.write_manifest()
             reports.update(executed)
         if cache is not None:
             from repro.exp.cache import CacheStats
 
             stats = CacheStats(
-                hits=len(jobs) - len(misses),
+                hits=len(mine) - len(misses),
                 misses=len(misses),
                 invalid=0,
             )
-        missing = [j.index for j in jobs if j.index not in reports]
+        quarantined = {f.job.index for f in failures}
+        missing = [
+            j.index
+            for j in mine
+            if j.index not in reports and j.index not in quarantined
+        ]
         if missing:
             raise ConfigurationError(
                 f"executor returned no result for jobs {missing[:5]}"
@@ -301,10 +400,16 @@ class ExperimentPlan:
         for decl in self._sweeps:
             curve = QoSCurve(decl.family)
             for value in decl.grid:
-                curve.add(float(value), reports[cursor])
+                if cursor in reports:  # quarantined/out-of-shard → hole
+                    curve.add(float(value), reports[cursor])
                 cursor += 1
             curves.setdefault(decl.trace, {})[decl.name] = curve
-        return PlanResult(curves=curves, cache=stats)
+        return PlanResult(
+            curves=curves,
+            cache=stats,
+            failures=FailureReport(failures=tuple(failures)),
+            shard=shard,
+        )
 
 
 @dataclass
@@ -313,10 +418,20 @@ class PlanResult:
 
     ``cache`` carries this run's hit/miss accounting when the plan ran
     against a :class:`~repro.exp.cache.SweepCache`, ``None`` otherwise.
+    ``failures`` records every quarantined job (empty on a clean run);
+    their curve points are explicit holes.  ``shard`` is the ``(i, n)``
+    selector when this result covers only one shard of the plan.
     """
 
     curves: dict[str, dict[str, QoSCurve]]
     cache: Any = None
+    failures: FailureReport = field(default_factory=FailureReport)
+    shard: tuple[int, int] | None = None
+
+    @property
+    def clean(self) -> bool:
+        """True when no job was quarantined."""
+        return not self.failures
 
     def curve(self, trace: str, name: str | None = None) -> QoSCurve:
         """One curve; ``name`` may be omitted when the trace has one sweep."""

@@ -266,6 +266,27 @@ class Instruments:
             labels=("detector",),
         )
 
+        # -- experiment engine (failure policy) -------------------------- #
+        self.exp_retries = r.counter(
+            "repro_exp_retries_total",
+            "Experiment job retries scheduled, by failure kind",
+            labels=("kind",),
+        )
+        self.exp_quarantined = r.counter(
+            "repro_exp_quarantined_total",
+            "Experiment jobs quarantined after exhausting retries, by kind",
+            labels=("kind",),
+        )
+        self.exp_timeouts = r.counter(
+            "repro_exp_job_timeouts_total",
+            "Experiment jobs that exceeded the per-job wall-clock ceiling",
+        )
+        self.exp_respawns = r.counter(
+            "repro_exp_pool_respawns_total",
+            "Worker-pool respawns forced by crashes or hung jobs, by reason",
+            labels=("reason",),
+        )
+
         self._prev_arrival: dict[str, float] = {}
 
     @classmethod
@@ -431,6 +452,29 @@ class Instruments:
         if fate != "deliver":
             for kind in fate.split("+"):
                 self.faults.labels(kind).inc()
+
+    # ------------------------------------------------------------------ #
+    # experiment failure-policy hooks
+    # ------------------------------------------------------------------ #
+
+    def on_job_retry(self, kind: str, job: str) -> None:
+        """One failed attempt got a retry scheduled (kind per KINDS)."""
+        self.exp_retries.labels(kind).inc()
+        if kind == "timeout":
+            self.exp_timeouts.inc()
+        self.events.emit("exp_retry", failure=kind, job=job)
+
+    def on_job_quarantined(self, kind: str, job: str) -> None:
+        """One job exhausted its retries and was quarantined."""
+        self.exp_quarantined.labels(kind).inc()
+        if kind == "timeout":
+            self.exp_timeouts.inc()
+        self.events.emit("exp_quarantine", failure=kind, job=job)
+
+    def on_pool_respawn(self, reason: str) -> None:
+        """The process pool was killed and respawned (crash/timeout)."""
+        self.exp_respawns.labels(reason).inc()
+        self.events.emit("exp_pool_respawn", reason=reason)
 
     def record_replay(
         self, detector: str, heartbeats: int, seconds: float, qos=None

@@ -150,3 +150,129 @@ class TestCLI:
         )
         with pytest.raises(SystemExit, match="unknown profile"):
             main(["run", str(config)])
+
+
+POISONED_CONFIG = (
+    "[[trace]]\n"
+    'name = "wan1"\n'
+    'profile = "WAN-1"\n'
+    "n = 2000\n"
+    "[[sweep]]\n"
+    'detector = "chen"\n'
+    "grid = [0.1, 0.5]\n"
+    "params = { window = 100 }\n"
+    "[[sweep]]\n"
+    # A window far beyond the trace length fails inside the replay
+    # kernel on every attempt — a genuinely poisoned grid point.
+    'detector = "chen:alpha=0.1,window=10000000"\n'
+    'name = "bad"\n'
+    "grid = [0.1]\n"
+)
+
+CLEAN_CONFIG = (
+    "[[trace]]\n"
+    'name = "wan1"\n'
+    'profile = "WAN-1"\n'
+    "n = 2000\n"
+    "[[sweep]]\n"
+    'detector = "chen"\n'
+    "grid = [0.1, 0.3, 0.5]\n"
+    "params = { window = 100 }\n"
+)
+
+
+class TestRunExitCodes:
+    """The documented contract: 0 clean, 3 quarantined, 1 hard failure."""
+
+    def test_clean_run_exits_zero(self, capsys, tmp_path):
+        config = tmp_path / "exp.toml"
+        config.write_text(CLEAN_CONFIG)
+        assert main(["run", str(config), "--no-archive", "--no-cache"]) == 0
+
+    def test_fail_fast_raises_systemexit(self, tmp_path):
+        config = tmp_path / "exp.toml"
+        config.write_text(POISONED_CONFIG)
+        with pytest.raises(SystemExit, match="failed"):
+            main(["run", str(config), "--no-archive", "--no-cache"])
+
+    def test_quarantine_exits_three_with_summary(self, capsys, tmp_path):
+        config = tmp_path / "exp.toml"
+        config.write_text(POISONED_CONFIG)
+        rc = main(
+            ["run", str(config), "--no-archive", "--no-cache",
+             "--on-failure", "continue"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 3
+        assert "1 quarantined job(s)" in out
+        assert "sweep='bad'" in out
+        assert "exiting 3" in out
+
+    def test_allow_failures_exits_zero(self, capsys, tmp_path):
+        config = tmp_path / "exp.toml"
+        config.write_text(POISONED_CONFIG)
+        rc = main(
+            ["run", str(config), "--no-archive", "--no-cache",
+             "--on-failure", "continue", "--allow-failures"]
+        )
+        assert rc == 0
+        assert "quarantined" in capsys.readouterr().out
+
+    def test_bad_shard_exits(self, tmp_path):
+        config = tmp_path / "exp.toml"
+        config.write_text(CLEAN_CONFIG)
+        with pytest.raises(SystemExit, match="--shard"):
+            main(["run", str(config), "--shard", "3/3"])
+        with pytest.raises(SystemExit, match="--shard"):
+            main(["run", str(config), "--shard", "one/three"])
+
+    def test_bad_policy_flag_exits(self, tmp_path):
+        config = tmp_path / "exp.toml"
+        config.write_text(CLEAN_CONFIG)
+        with pytest.raises(SystemExit, match="timeout"):
+            main(["run", str(config), "--timeout", "-1"])
+
+
+class TestResumeAndMergeCLI:
+    def test_resume_reuses_cached_work(self, capsys, tmp_path):
+        config = tmp_path / "exp.toml"
+        config.write_text(CLEAN_CONFIG)
+        out_dir = str(tmp_path / "curves")
+        run_cli(capsys, "run", str(config), "--output", out_dir)
+        out = run_cli(
+            capsys, "run", str(config), "--output", out_dir, "--resume"
+        )
+        assert "resume: " in out
+        assert "3 hit(s), 0 miss(es)" in out
+
+    def test_resume_conflicts_with_no_cache(self, tmp_path):
+        config = tmp_path / "exp.toml"
+        config.write_text(CLEAN_CONFIG)
+        with pytest.raises(SystemExit, match="resume"):
+            main(["run", str(config), "--resume", "--no-cache"])
+
+    def test_shard_runs_then_merge(self, capsys, tmp_path):
+        config = tmp_path / "exp.toml"
+        config.write_text(CLEAN_CONFIG)
+        out_dir = str(tmp_path / "curves")
+        for i in range(2):
+            out = run_cli(
+                capsys, "run", str(config), "--output", out_dir,
+                "--shard", f"{i}/2",
+            )
+            assert f"(shard {i}/2)" in out
+            assert f"shard-{i}-of-2" in out
+        out = run_cli(capsys, "merge", str(config), "--output", out_dir)
+        assert "merged 3 cached grid points" in out
+        merged = tmp_path / "curves" / "CURVE_wan1_chen.json"
+        assert merged.exists()
+
+    def test_merge_before_shards_complete_exits(self, capsys, tmp_path):
+        config = tmp_path / "exp.toml"
+        config.write_text(CLEAN_CONFIG)
+        out_dir = str(tmp_path / "curves")
+        run_cli(
+            capsys, "run", str(config), "--output", out_dir, "--shard", "0/2"
+        )
+        with pytest.raises(SystemExit, match="missing from the cache"):
+            main(["merge", str(config), "--output", out_dir])
