@@ -27,9 +27,11 @@ Failure handling is driven by a declarative
 * a job that *raises* ships its traceback home and is retried with
   jittered exponential backoff up to ``max_retries`` times;
 * a job past the per-job wall-clock ``timeout`` is *hung*: the serial
-  executor abandons its worker thread, the pool executor kills the
-  worker processes, respawns the pool, and re-dispatches every innocent
-  in-flight job at no attempt cost;
+  executor abandons its worker thread (timeout-guarded attempts
+  therefore run without per-replay instrumentation — an abandoned
+  thread must not keep mutating shared metrics), the pool executor
+  kills the worker processes, respawns the pool, and re-dispatches
+  every innocent in-flight job at no attempt cost;
 * a *dead worker process* (``BrokenProcessPool``) marks every in-flight
   job as a crash suspect and respawns the pool; a suspect that exhausts
   its retries is re-run **alone** in a fresh pool before judgment, so a
@@ -110,6 +112,7 @@ class ExecutorBrokenError(ReproError, RuntimeError):
         *,
         suspects: tuple[ReplayJob, ...] = (),
         attempts: int = 1,
+        reason: str | None = None,
     ):
         if job is not None:
             msg = (
@@ -118,8 +121,9 @@ class ExecutorBrokenError(ReproError, RuntimeError):
             )
         else:
             named = ", ".join(j.describe() for j in suspects[:3])
+            what = reason or f"{len(suspects)} job(s) were in flight"
             msg = (
-                f"worker process died; {len(suspects)} job(s) were in flight: "
+                f"worker process died; {what}: "
                 f"{named}{'…' if len(suspects) > 3 else ''}"
             )
         super().__init__(msg)
@@ -198,7 +202,11 @@ class SerialExecutor:
     zero overhead; a per-job ``timeout`` moves attempts onto one
     persistent worker thread (:class:`_TimeoutRunner`) so a hung replay
     can be abandoned — the thread is daemonic, it cannot be killed, only
-    orphaned — and the run go on.
+    orphaned — and the run go on.  Because an abandoned thread is still
+    *executing* the hung replay, timeout-guarded attempts run with
+    ``instruments=None``: an orphan mutating the shared metrics bundle
+    would race with every later job.  Driver-side failure hooks
+    (retries, quarantines) still fire on the live bundle.
     """
 
     def __init__(self, policy: FailurePolicy | None = None):
@@ -232,8 +240,11 @@ class SerialExecutor:
                     return None, "error", traceback.format_exc()
             if runner is None:
                 runner = _TimeoutRunner()
+            # instruments=None: on timeout the runner thread is abandoned
+            # *mid-replay*; it must not keep mutating shared metrics
+            # concurrently with the jobs that follow.
             qos, kind, tb = runner.attempt(
-                lambda: self._call(job, views[job.trace], instruments, attempt),
+                lambda: self._call(job, views[job.trace], None, attempt),
                 pol.timeout,
             )
             if kind == "timeout":
@@ -350,6 +361,13 @@ class ProcessPoolExecutor:
     #: for completion/deadlines when nothing completes on its own.
     _TICK = 0.05
 
+    #: How many *consecutive* pool generations may die without making any
+    #: progress (no job completed, no failed attempt counted — e.g. the
+    #: workers die in the initializer and every submit raises
+    #: ``BrokenProcessPool``) before the run gives up on respawning.
+    #: Without this bound an unspawnable pool would cycle forever.
+    _MAX_BARREN_RESPAWNS = 3
+
     def __init__(self, jobs: int | None = None, policy: FailurePolicy | None = None):
         self.jobs = int(jobs) if jobs else default_jobs()
         if self.jobs < 1:
@@ -364,6 +382,17 @@ class ProcessPoolExecutor:
     def _inline_ok(self) -> bool:
         """Whether degrading to in-process serial execution is allowed."""
         return True
+
+    def _make_pool(
+        self, capacity: int, ctx, views: Mapping[str, MonitorView]
+    ) -> futures.ProcessPoolExecutor:
+        """Build one pool generation (tests override to inject broken pools)."""
+        return futures.ProcessPoolExecutor(
+            max_workers=capacity,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(views,),
+        )
 
     def run(
         self,
@@ -442,14 +471,16 @@ class ProcessPoolExecutor:
                 source.append(index)
             return None
 
-        def run_generation(source: deque[int], capacity: int, verified: bool) -> None:
-            """One pool lifetime; returns when its queue drains or it breaks."""
-            pool = futures.ProcessPoolExecutor(
-                max_workers=capacity,
-                mp_context=ctx,
-                initializer=_init_worker,
-                initargs=(views,),
-            )
+        def run_generation(source: deque[int], capacity: int, verified: bool) -> str:
+            """One pool lifetime; the return value says how it ended.
+
+            ``"drained"`` — the queue emptied; ``"timeout"``/``"crash"``
+            — the pool was killed and must be respawned.  A ``give_up``
+            abort (fail-fast) hard-kills the pool *before* propagating:
+            a graceful ``shutdown(wait=True)`` would block on whatever
+            is still running — forever, if an in-flight job is hung.
+            """
+            pool = self._make_pool(capacity, ctx, views)
             inflight: dict[futures.Future, tuple[int, float]] = {}
             killed = False
             try:
@@ -508,13 +539,13 @@ class ProcessPoolExecutor:
                         ]
                         if hung:
                             # Innocents go back at no attempt cost; the
-                            # hung job pays one.  Kill the pool — there is
-                            # no way to stop a single running future.
+                            # hung job pays one.  Kill the pool *first* —
+                            # there is no way to stop a single running
+                            # future, and register_failure may raise
+                            # (fail-fast give_up), which must never reach
+                            # a shutdown that waits on the hung worker.
                             for fut, index in hung:
                                 inflight.pop(fut)
-                                register_failure(
-                                    index, "timeout", None, verified=verified
-                                )
                             for index, _deadline in inflight.values():
                                 source.appendleft(index)
                             inflight.clear()
@@ -522,35 +553,66 @@ class ProcessPoolExecutor:
                             _kill_pool(pool)
                             if instruments is not None:
                                 instruments.on_pool_respawn("timeout")
-                            return
+                            for _fut, index in hung:
+                                register_failure(
+                                    index, "timeout", None, verified=verified
+                                )
+                            return "timeout"
+                return "drained"
             except BrokenProcessPool:
                 # Every job still in flight is a suspect: the worker that
-                # died does not say which task it held.
+                # died does not say which task it held.  Kill the pool
+                # before judging the suspects — register_failure may
+                # raise under fail-fast.
                 killed = True
-                for index, _deadline in list(inflight.values()):
-                    register_failure(index, "crash", None, verified=verified)
+                suspects = [index for index, _deadline in inflight.values()]
                 inflight.clear()
                 _kill_pool(pool)
                 if instruments is not None:
                     instruments.on_pool_respawn("crash")
-                return
+                for index in suspects:
+                    register_failure(index, "crash", None, verified=verified)
+                return "crash"
+            except (JobFailedError, ExecutorBrokenError):
+                # A fail-fast abort from give_up inside the done-futures
+                # loop: hard-kill the pool so the finally clause does not
+                # wait for (possibly hung) in-flight jobs to finish.
+                killed = True
+                raise
             finally:
                 if killed:
                     _kill_pool(pool)
                 else:
                     pool.shutdown(wait=True, cancel_futures=True)
 
-        try:
-            while queue or solo:
-                if queue:
-                    run_generation(
-                        queue, min(self.jobs, len(queue) or 1), verified=False
+        barren = 0  # consecutive pool deaths with zero progress
+        while queue or solo:
+            before = (len(reports), sum(attempts.values()))
+            if queue:
+                ended = run_generation(
+                    queue, min(self.jobs, len(queue) or 1), verified=False
+                )
+            else:
+                # Isolated verification: one suspect, one fresh pool.
+                lone: deque[int] = deque([solo.popleft()])
+                ended = run_generation(lone, 1, verified=True)
+                queue.extend(lone)  # retries scheduled during the solo run
+            if ended == "crash" and (len(reports), sum(attempts.values())) == before:
+                # The pool died before any job even *ran* (e.g. workers
+                # crash in the initializer, so every submit raises and
+                # requeues at no attempt cost).  Bounded: an environment
+                # that cannot spawn workers must not respawn forever.
+                barren += 1
+                if barren >= self._MAX_BARREN_RESPAWNS:
+                    pending = tuple(by_index[i] for i in [*queue, *solo])
+                    raise ExecutorBrokenError(
+                        None,
+                        suspects=pending,
+                        reason=(
+                            f"pool died {barren} consecutive times without "
+                            f"running a job; {len(pending)} job(s) pending"
+                        ),
                     )
-                else:
-                    # Isolated verification: one suspect, one fresh pool.
-                    lone: deque[int] = deque([solo.popleft()])
-                    run_generation(lone, 1, verified=True)
-                    queue.extend(lone)  # retries scheduled during the solo run
-        except (JobFailedError, ExecutorBrokenError):
-            raise
+            else:
+                barren = 0
         return ExecutionResult(reports=reports, failures=tuple(failures))

@@ -11,6 +11,9 @@ backoffs of milliseconds) so the whole module stays fast.
 from __future__ import annotations
 
 import json
+import os
+import time
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -194,6 +197,27 @@ class TestSerialResilience:
         assert not result.failures
         assert curves_of(result) == curves_of(clean)
 
+    def test_timeout_guarded_attempts_skip_replay_instruments(self, small_view):
+        # A timed-out attempt leaves its runner thread alive and still
+        # executing the replay; sharing the live bundle with such an
+        # orphan would race with every later job.  So timeout-guarded
+        # attempts run uninstrumented — while without a timeout the live
+        # bundle still threads through every replay.
+        seen: list[object] = []
+
+        class Recording(SerialExecutor):
+            def _call(self, job, view, instruments, attempt):
+                seen.append(instruments)
+                return super()._call(job, view, instruments, attempt)
+
+        ins = Instruments()
+        plan = tiny_plan(small_view, n=2)
+        plan.run(Recording(), policy=FailurePolicy(timeout=30.0), instruments=ins)
+        assert len(seen) == 2 and all(i is None for i in seen)
+        seen.clear()
+        plan.run(Recording(), instruments=ins)
+        assert len(seen) == 2 and all(i is ins for i in seen)
+
     def test_crash_faults_rejected_in_process(self, small_view):
         plan = tiny_plan(small_view, n=2)
         sched = ChaosSchedule({0: JobFault("crash")})
@@ -282,6 +306,75 @@ class TestPoolResilience:
         got = {p.parameter: p.qos for p in result.curve("t", "chen").points}
         assert set(got) == set(clean_points) - {hole}
         assert all(got[k] == clean_points[k] for k in got)
+
+    def test_fail_fast_hung_job_surfaces_within_timeout(self, small_view):
+        # Regression: a *permanently* hung job under fail_fast with no
+        # retry budget must surface as JobFailedError at ~timeout.  The
+        # abort used to propagate before the pool was killed, so the
+        # final shutdown blocked on the hung worker for the full hang
+        # (forever, for a true hang).
+        plan = tiny_plan(small_view, n=3)
+        sched = ChaosSchedule(
+            {1: JobFault("timeout", fail_attempts=None, hang=60.0)}
+        )
+        start = time.monotonic()
+        with pytest.raises(JobFailedError) as err:
+            plan.run(
+                FlakyProcessPoolExecutor(sched, jobs=2),
+                policy=FailurePolicy(timeout=0.3),
+            )
+        elapsed = time.monotonic() - start
+        assert err.value.kind == "timeout"
+        assert err.value.job.index == 1
+        assert elapsed < 10.0  # ~timeout plus pool spawn, not the 60 s hang
+
+    def test_fail_fast_error_abort_kills_inflight_jobs(self, small_view):
+        # Regression: a fail-fast abort raised for one failed job must
+        # hard-kill the pool rather than gracefully wait for every
+        # in-flight job — here a 60 s sleeper with no policy timeout —
+        # to finish before the error surfaces.
+        plan = tiny_plan(small_view, n=2)
+        sched = ChaosSchedule(
+            {
+                0: JobFault("error", fail_attempts=None),
+                1: JobFault("timeout", fail_attempts=None, hang=60.0),
+            }
+        )
+        start = time.monotonic()
+        with pytest.raises(JobFailedError) as err:
+            plan.run(FlakyProcessPoolExecutor(sched, jobs=2), policy=FailurePolicy())
+        assert err.value.job.index == 0
+        assert time.monotonic() - start < 10.0
+
+    def test_unspawnable_pool_bounds_respawns(self, small_view):
+        # Regression: when every submit raises BrokenProcessPool (the
+        # workers die before running anything), jobs are requeued at no
+        # attempt cost, so the run used to respawn the pool forever.
+        # The driver now gives up after a bounded number of barren
+        # generations, naming the pending jobs.
+        class DeadPoolExecutor(ProcessPoolExecutor):
+            def _inline_ok(self):
+                return False
+
+            def _make_pool(self, capacity, ctx, views):
+                pool = super()._make_pool(capacity, ctx, views)
+                doomed = pool.submit(os._exit, 13)  # break it before use
+                with pytest.raises(BrokenProcessPool):
+                    doomed.result(timeout=30)
+                return pool
+
+        plan = tiny_plan(small_view, n=2)
+        ins = Instruments()
+        with pytest.raises(ExecutorBrokenError) as err:
+            plan.run(
+                DeadPoolExecutor(jobs=2),
+                policy=FailurePolicy(mode="continue", **FAST),
+                instruments=ins,
+            )
+        assert err.value.job is None
+        assert [j.index for j in err.value.suspects] == [0, 1]
+        assert "pending" in str(err.value)
+        assert ins.exp_respawns.labels("crash").get() == 3.0
 
     def test_fail_fast_aborts_before_remaining_jobs_run(self, small_view):
         # Satellite: the pending-work cancellation path.  One worker,
