@@ -570,6 +570,115 @@ def cmd_top(args: argparse.Namespace) -> None:
         asyncio.run(frames(_metrics_url(args.url), title=f"repro top ({args.url})"))
 
 
+def _audit_demo(trail: int) -> str:
+    """Offline audit demo: the regime-change example, fully instrumented.
+
+    One SFD-monitored node rides calm → degraded → recovered network
+    phases through a real :class:`MembershipTable`, so the audit plane
+    sees genuine status edges (wrong suspicions during the congestion
+    stalls) and the feedback loop leaves a full SM(k)/Sat_k trail.
+    """
+    import numpy as np
+
+    from repro.cluster import MembershipTable
+    from repro.core.feedback import InfeasiblePolicy
+    from repro.core.sfd import SFD, SlotConfig
+    from repro.obs import (
+        Instruments,
+        parse_prometheus,
+        render_audit,
+        render_prometheus,
+    )
+    from repro.qos.spec import QoSRequirements
+
+    req = QoSRequirements(
+        max_detection_time=0.45, max_mistake_rate=0.05, min_query_accuracy=0.98
+    )
+    ins = Instruments()
+    table = MembershipTable(
+        ins.wrap_detector_factory(
+            lambda nid: SFD(
+                req,
+                sm1=0.02,
+                alpha=0.2,
+                beta=0.5,
+                window_size=50,
+                slot=SlotConfig(50, reset_on_adjust=True, min_slots=2),
+                policy=InfeasiblePolicy.HOLD,
+            )
+        ),
+        on_transition=ins.on_transition,
+        on_restart=ins.on_restart,
+        on_stale=ins.on_stale,
+    )
+
+    rng = np.random.default_rng(11)
+    phases = [
+        ("calm", 800, lambda i: 0.0),
+        ("degraded", 1200, lambda i: 0.5 if i % 6 == 0 else 0.0),
+        ("recovered", 1500, lambda i: 0.0),
+    ]
+    node = "demo-node"
+    t = 0.0
+    seq = 0
+    for _name, count, extra in phases:
+        for i in range(count):
+            t += 0.1
+            arrival = t + 0.02 + extra(i) + float(rng.normal(0.0, 0.002))
+            # Classify right before the (possibly stalled) heartbeat lands:
+            # that is when an overdue node looks most suspicious, which is
+            # exactly the edge the audit plane grades.
+            table.statuses(arrival - 1e-3)
+            ins.record_heartbeat(node, seq, t, arrival)
+            table.heartbeat(node, seq, arrival, send_time=t)
+            seq += 1
+            if seq % 100 == 0:
+                ins.audit.collect(arrival)  # periodic scrape: breach edges
+    ins.audit.collect(t)
+
+    metrics = parse_prometheus(render_prometheus(ins.registry))
+    return render_audit(
+        metrics, ins.events.recent(), title="repro audit (demo)", trail=trail
+    )
+
+
+def cmd_audit(args: argparse.Namespace) -> None:
+    import asyncio
+    import json
+
+    from repro.obs import http_get, parse_prometheus, render_audit
+
+    if args.demo == (args.url is not None):
+        raise SystemExit("give a scrape URL or --demo, not both (or neither)")
+
+    if args.demo:
+        print(_audit_demo(args.trail))
+        return
+
+    base = _metrics_url(args.url).rsplit("/metrics", 1)[0]
+    status, body = asyncio.run(http_get(f"{base}/metrics", timeout=args.timeout))
+    if status != 200:
+        raise SystemExit(
+            f"scrape of {base}/metrics failed: HTTP {status}: {body.strip()}"
+        )
+    events: list[dict] = []
+    ev_status, ev_body = asyncio.run(
+        http_get(f"{base}/events", timeout=args.timeout)
+    )
+    if ev_status == 200:
+        events = [
+            json.loads(line) for line in ev_body.splitlines() if line.strip()
+        ]
+    print(
+        render_audit(
+            parse_prometheus(body),
+            events,
+            title=f"repro audit ({args.url})",
+            trail=args.trail,
+        )
+    )
+
+
 def cmd_scan(args: argparse.Namespace) -> None:
     import math
 
@@ -839,6 +948,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--timeout", type=float, default=5.0)
     p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "audit",
+        help="QoS audit view: SLO status, SM trajectories, decision history",
+    )
+    p.add_argument("url", nargs="?", default=None, help="endpoint URL to scrape")
+    p.add_argument(
+        "--demo",
+        action="store_true",
+        help="run the offline regime-change scenario and audit it",
+    )
+    p.add_argument(
+        "--trail",
+        type=int,
+        default=8,
+        metavar="N",
+        help="trailing SM(k) values to print per node (default 8)",
+    )
+    p.add_argument("--timeout", type=float, default=5.0)
+    p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("scan", help="PlanetLab-style cluster status scan (DES)")
     p.add_argument("--seed", type=int, default=2012)

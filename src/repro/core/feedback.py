@@ -218,7 +218,13 @@ class SlotConfig:
 
 @dataclass(frozen=True, slots=True)
 class TuningRecord:
-    """One feedback decision, for convergence traces (§V bench)."""
+    """One feedback decision, for convergence traces (§V bench).
+
+    ``status`` is the controller's life-cycle state *after* the decision,
+    so traces (and the audit plane) can distinguish a held margin from a
+    terminal infeasibility verdict — Algorithm 1's "give a response"
+    branch is observable, not silent.
+    """
 
     slot: int
     time: float
@@ -226,6 +232,7 @@ class TuningRecord:
     sm_after: float
     decision: Satisfaction
     qos: QoSReport
+    status: TuningStatus = TuningStatus.TUNING
 
 
 

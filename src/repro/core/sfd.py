@@ -189,6 +189,7 @@ class SFD(TimeoutFailureDetector):
             sm_after=self._sm,
             decision=self._driver.controller.last_decision or Satisfaction.STABLE,
             qos=snapshot,
+            status=self._driver.status,
         )
         self._trace.append(record)
         if self.on_slot is not None:

@@ -148,6 +148,7 @@ class SelfTuningMonitor:
                 sm_after=self._knob.get(self.detector),
                 decision=self._driver.controller.last_decision or Satisfaction.STABLE,
                 qos=snapshot,
+                status=self._driver.status,
             )
         )
 

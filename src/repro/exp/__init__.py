@@ -18,7 +18,10 @@ hangs by respawning its pool; the cache's store-as-you-go discipline
 makes killed runs resumable; and ``--shard i/N`` + ``repro merge``
 (:func:`merge_config`) distribute one plan across independent workers.
 :mod:`repro.exp.chaos` is the deterministic fault-injection harness that
-proves all of it.
+proves all of it.  :mod:`repro.exp.progress` makes runs observable while
+they run: a crash-safe ``RUN_PROGRESS.json`` heartbeat (done/total, cache
+hits, retries, quarantines, jobs/s, ETA) served by the metrics endpoint's
+``/runs`` route and painted live on the TTY.
 
 The sweep/figure layers (:func:`repro.analysis.sweep.sweep_curve`,
 :func:`repro.analysis.experiments.run_figure`) are thin wrappers over
@@ -64,6 +67,7 @@ from repro.exp.archive import (
     qos_to_dict,
 )
 from repro.exp.cache import CACHE_FORMAT, CacheStats, SweepCache
+from repro.exp.progress import ProgressInstruments, RunProgress, read_progress
 from repro.exp.config import (
     ExperimentConfig,
     RunOutcome,
@@ -111,4 +115,7 @@ __all__ = [
     "run_config",
     "merge_config",
     "shard_directory",
+    "ProgressInstruments",
+    "RunProgress",
+    "read_progress",
 ]

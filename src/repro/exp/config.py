@@ -45,6 +45,7 @@ family's aggressive → conservative registry grid.
 
 from __future__ import annotations
 
+import sys
 import time
 import tomllib
 from dataclasses import dataclass, field
@@ -58,6 +59,7 @@ from repro.exp.cache import CacheStats, SweepCache
 from repro.exp.executors import ProcessPoolExecutor, SerialExecutor
 from repro.exp.plan import ExperimentPlan, PlanResult, check_shard
 from repro.exp.policy import FailurePolicy, FailureReport
+from repro.exp.progress import RunProgress
 from repro.traces import ALL_PROFILES, LAN_REFERENCE, HeartbeatTrace, synthesize
 
 __all__ = [
@@ -131,6 +133,13 @@ class RunOutcome:
 def shard_directory(output: Path, shard: tuple[int, int]) -> Path:
     """Where shard ``(i, n)``'s partial archive lands under ``output``."""
     return output / f"shard-{shard[0]}-of-{shard[1]}"
+
+
+def _tty_progress_line(progress: RunProgress) -> None:
+    """Repaint one carriage-return progress line on a TTY stderr."""
+    end = "\n" if progress.state != "running" else ""
+    sys.stderr.write(f"\r\x1b[K{progress.line()}{end}")
+    sys.stderr.flush()
 
 
 def _build_policy(table: Mapping[str, Any], where: str) -> FailurePolicy:
@@ -316,6 +325,7 @@ def run_config(
     shard: tuple[int, int] | None = None,
     resume: bool = False,
     instruments=None,
+    progress: RunProgress | None = None,
 ) -> RunOutcome:
     """Execute a loaded config and archive its curves.
 
@@ -342,6 +352,11 @@ def run_config(
     output directory, while sharing the *top-level* cache directory with
     the other shards — :func:`merge_config` reassembles the full,
     bit-identical archive once every shard has run.
+
+    Every archiving run heartbeats a crash-safe ``RUN_PROGRESS.json``
+    into its archive directory (shard directory for sharded runs) and,
+    when stderr is a TTY, repaints a live progress line.  Pass your own
+    :class:`~repro.exp.progress.RunProgress` to redirect or silence it.
     """
     n = config.jobs if jobs is None else int(jobs)
     pol = policy if policy is not None else config.policy
@@ -374,15 +389,26 @@ def run_config(
             raise ConfigurationError(
                 "--resume with --no-archive needs an explicit --cache-dir"
             )
+    target = directory if shard is None else shard_directory(directory, shard)
+    if progress is None:
+        progress = RunProgress(
+            target / "RUN_PROGRESS.json" if archive else None,
+            on_update=_tty_progress_line if sys.stderr.isatty() else None,
+            meta={"config": str(config.path)},
+        )
     t0 = time.perf_counter()
     result = config.plan.run(
-        executor, cache=cache, policy=pol, shard=shard, instruments=instruments
+        executor,
+        cache=cache,
+        policy=pol,
+        shard=shard,
+        instruments=instruments,
+        progress=progress,
     )
     elapsed = time.perf_counter() - t0
     effective = getattr(executor, "jobs", 1)
     written: list[Path] = []
     if archive:
-        target = directory if shard is None else shard_directory(directory, shard)
         meta: dict[str, Any] = {
             "config": str(config.path),
             "seed": config.seed,

@@ -273,6 +273,7 @@ class ExperimentPlan:
         cache=None,
         policy=None,
         shard: tuple[int, int] | None = None,
+        progress=None,
     ) -> "PlanResult":
         """Execute every job and reassemble curves in sweep order.
 
@@ -308,6 +309,13 @@ class ExperimentPlan:
         sweep).  Out-of-shard points are left as holes unless the cache
         already holds them; :func:`repro.exp.config.merge_config`
         reassembles full curves from shards sharing a cache directory.
+
+        ``progress`` (a :class:`~repro.exp.progress.RunProgress`) turns
+        the run observable: job completions stream through ``on_result``,
+        retry/quarantine hooks are teed off the instruments seam, and the
+        final counts are reconciled against this result before the
+        heartbeat file is sealed — so its last state always matches the
+        archive, streaming executor or not.
         """
         if executor is None:
             from repro.exp.executors import SerialExecutor
@@ -353,29 +361,56 @@ class ExperimentPlan:
                 },
             )
 
+        if progress is not None:
+            from repro.exp.progress import ProgressInstruments
+
+            progress.begin(
+                total=len(mine),
+                cache_hits=len(mine) - len(misses),
+                shard=shard,
+            )
+            instruments = ProgressInstruments(progress, instruments)
+
+        callbacks = []
+        if cache is not None:
+            callbacks.append(store)
+        if progress is not None:
+            callbacks.append(lambda job, qos: progress.job_done(job, qos))
+        if len(callbacks) == 1:
+            on_result = callbacks[0]
+        elif callbacks:
+            def on_result(job: ReplayJob, qos: QoSReport) -> None:
+                for fn in callbacks:
+                    fn(job, qos)
+        else:
+            on_result = None
+
         failures: tuple = ()
-        if misses:
-            kwargs = _executor_kwargs(
-                executor,
-                policy=policy,
-                on_result=store if cache is not None else None,
-            )
-            executed = executor.run(
-                misses, self.views, instruments=instruments, **kwargs
-            )
-            if isinstance(executed, ExecutionResult):
-                failures = executed.failures
-                executed = dict(executed.reports)
-            else:
-                executed = dict(executed)
-            if cache is not None:
-                if "on_result" not in kwargs:
-                    # Executor predates streaming — store after the fact.
-                    for job in misses:
-                        if job.index in executed:
-                            store(job, executed[job.index])
-                cache.write_manifest()
-            reports.update(executed)
+        try:
+            if misses:
+                kwargs = _executor_kwargs(
+                    executor, policy=policy, on_result=on_result
+                )
+                executed = executor.run(
+                    misses, self.views, instruments=instruments, **kwargs
+                )
+                if isinstance(executed, ExecutionResult):
+                    failures = executed.failures
+                    executed = dict(executed.reports)
+                else:
+                    executed = dict(executed)
+                if cache is not None:
+                    if "on_result" not in kwargs:
+                        # Executor predates streaming — store after the fact.
+                        for job in misses:
+                            if job.index in executed:
+                                store(job, executed[job.index])
+                    cache.write_manifest()
+                reports.update(executed)
+        except BaseException:
+            if progress is not None:
+                progress.finish("failed")
+            raise
         if cache is not None:
             from repro.exp.cache import CacheStats
 
@@ -391,9 +426,17 @@ class ExperimentPlan:
             if j.index not in reports and j.index not in quarantined
         ]
         if missing:
+            if progress is not None:
+                progress.finish("failed")
             raise ConfigurationError(
                 f"executor returned no result for jobs {missing[:5]}"
                 + ("…" if len(missing) > 5 else "")
+            )
+        if progress is not None:
+            progress.finish(
+                "completed",
+                done=sum(1 for j in mine if j.index in reports),
+                quarantined=len(quarantined),
             )
         curves: dict[str, dict[str, QoSCurve]] = {}
         cursor = 0

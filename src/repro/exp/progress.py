@@ -1,0 +1,261 @@
+"""Run-progress telemetry: a crash-safe heartbeat file for `repro run`.
+
+PR 6 made experiment runs survive crashes; this module makes them
+*observable while they run*.  A :class:`RunProgress` tracks one run's job
+accounting — done/total, cache hits, retries, quarantines, jobs/s, ETA —
+and periodically persists it as ``RUN_PROGRESS.json`` next to the curve
+archive.  Writes are atomic (temp file + ``os.replace``), so the file is
+always a complete, parseable snapshot: a watcher (the ``/runs`` endpoint
+of :class:`~repro.obs.exposition.MetricsServer`, a shell loop, a fleet
+coordinator polling shard directories) never reads a torn state, and
+after a crash the last heartbeat tells you exactly how far the run got —
+the run-level analogue of a failure detector's freshness point.
+
+The intake reuses the hooks that already exist: the executor's
+``on_result`` stream marks jobs done, and :class:`ProgressInstruments`
+tees the ``on_job_retry`` / ``on_job_quarantined`` instrument hooks into
+the progress state while forwarding everything to the real bundle.
+Nothing new is threaded through the executors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["RunProgress", "ProgressInstruments", "read_progress"]
+
+#: Schema version of the RUN_PROGRESS.json payload.
+PROGRESS_FORMAT = 1
+
+
+class RunProgress:
+    """Job accounting for one experiment run, heartbeat to disk.
+
+    Parameters
+    ----------
+    path:
+        Where ``RUN_PROGRESS.json`` lives; ``None`` keeps the state
+        in-memory only (the TTY line and the ``/runs`` endpoint can still
+        read it through :meth:`snapshot`).
+    interval:
+        Minimum seconds between heartbeat writes.  Updates inside the
+        window only refresh the in-memory state; :meth:`finish` always
+        writes.
+    on_update:
+        Callback ``fn(progress)`` invoked after every state change (not
+        throttled) — the hook the live TTY progress line hangs off.
+    meta:
+        Extra JSON-serializable fields merged into every snapshot
+        (config path, run label, …).
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        interval: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+        wall: Callable[[], float] = time.time,
+        on_update: "Callable[[RunProgress], None] | None" = None,
+        meta: dict[str, Any] | None = None,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.interval = float(interval)
+        self._clock = clock
+        self._wall = wall
+        self._on_update = on_update
+        self.meta = dict(meta or {})
+        self.state = "pending"
+        self.total = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self.retries = 0
+        self.quarantined = 0
+        self.shard: tuple[int, int] | None = None
+        self.started_wall: float | None = None
+        self._started_mono: float | None = None
+        self._last_write = -float("inf")
+
+    # -- intake ---------------------------------------------------------- #
+
+    def begin(
+        self,
+        total: int,
+        *,
+        cache_hits: int = 0,
+        shard: tuple[int, int] | None = None,
+    ) -> None:
+        """Start the run clock; ``total`` is this run's in-scope job count
+        (shard-local for sharded runs), ``cache_hits`` of which are
+        already done before the executor starts."""
+        self.state = "running"
+        self.total = int(total)
+        self.cache_hits = int(cache_hits)
+        self.shard = shard
+        self.started_wall = self._wall()
+        self._started_mono = self._clock()
+        self._tick(force=True)
+
+    def job_done(self, job: Any = None, qos: Any = None) -> None:
+        """One executed job produced its report (``on_result`` shape)."""
+        self.executed += 1
+        self._tick()
+
+    def job_retried(self, kind: str, job: str) -> None:
+        self.retries += 1
+        self._tick()
+
+    def job_quarantined(self, kind: str, job: str) -> None:
+        self.quarantined += 1
+        self._tick()
+
+    def finish(
+        self,
+        state: str = "completed",
+        *,
+        done: int | None = None,
+        quarantined: int | None = None,
+    ) -> None:
+        """Seal the run, reconciling final counts from the plan's own
+        result (authoritative over streamed increments: an executor
+        without ``on_result`` support streams nothing)."""
+        if done is not None:
+            self.executed = max(int(done) - self.cache_hits, 0)
+        if quarantined is not None:
+            self.quarantined = int(quarantined)
+        self.state = state
+        self._tick(force=True)
+
+    # -- derived state ---------------------------------------------------- #
+
+    @property
+    def done(self) -> int:
+        """Jobs resolved with a report: cache hits + executed."""
+        return self.cache_hits + self.executed
+
+    @property
+    def remaining(self) -> int:
+        return max(self.total - self.done - self.quarantined, 0)
+
+    @property
+    def elapsed(self) -> float:
+        if self._started_mono is None:
+            return 0.0
+        return max(self._clock() - self._started_mono, 0.0)
+
+    @property
+    def jobs_per_s(self) -> float | None:
+        """Executed-job throughput (cache hits are free, so they are
+        excluded — the rate must predict real replay work)."""
+        t = self.elapsed
+        if self.executed == 0 or t <= 0:
+            return None
+        return self.executed / t
+
+    @property
+    def eta_s(self) -> float | None:
+        rate = self.jobs_per_s
+        if rate is None or self.remaining == 0:
+            return 0.0 if self.remaining == 0 and self.state == "running" else None
+        return self.remaining / rate
+
+    def snapshot(self) -> dict[str, Any]:
+        """The full JSON-serializable heartbeat payload."""
+        out: dict[str, Any] = {
+            "format": PROGRESS_FORMAT,
+            "state": self.state,
+            "total": self.total,
+            "done": self.done,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "jobs_per_s": self.jobs_per_s,
+            "eta_s": self.eta_s,
+            "elapsed_s": self.elapsed,
+            "started": self.started_wall,
+            "updated": self._wall(),
+            "shard": list(self.shard) if self.shard is not None else None,
+        }
+        out.update(self.meta)
+        return out
+
+    def line(self) -> str:
+        """One-line TTY rendering of the current state."""
+        parts = [f"{self.done}/{self.total} jobs"]
+        if self.cache_hits:
+            parts.append(f"{self.cache_hits} cached")
+        if self.retries:
+            parts.append(f"{self.retries} retried")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined")
+        rate = self.jobs_per_s
+        if rate is not None:
+            parts.append(f"{rate:.2f} jobs/s")
+        eta = self.eta_s
+        if eta is not None and self.state == "running":
+            parts.append(f"ETA {eta:.0f}s")
+        return f"[{self.state}] " + "  ".join(parts)
+
+    # -- persistence ------------------------------------------------------ #
+
+    def _tick(self, force: bool = False) -> None:
+        if self._on_update is not None:
+            self._on_update(self)
+        self.write(force=force)
+
+    def write(self, *, force: bool = False) -> None:
+        """Persist the heartbeat atomically (throttled unless ``force``)."""
+        if self.path is None:
+            return
+        now = self._clock()
+        if not force and now - self._last_write < self.interval:
+            return
+        self._last_write = now
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True))
+        os.replace(tmp, self.path)
+
+
+class ProgressInstruments:
+    """Instrument tee: fold retry/quarantine hooks into a
+    :class:`RunProgress` while forwarding *every* call to the real
+    bundle (or a null bundle when the run is otherwise uninstrumented).
+    Executors keep their single ``instruments=`` seam."""
+
+    def __init__(self, progress: RunProgress, inner=None):
+        if inner is None:
+            from repro.obs.instruments import Instruments
+
+            inner = Instruments.null()
+        self._progress = progress
+        self._inner = inner
+
+    def on_job_retry(self, kind: str, job: str) -> None:
+        self._inner.on_job_retry(kind, job)
+        self._progress.job_retried(kind, job)
+
+    def on_job_quarantined(self, kind: str, job: str) -> None:
+        self._inner.on_job_quarantined(kind, job)
+        self._progress.job_quarantined(kind, job)
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+
+def read_progress(path: str | Path) -> dict[str, Any] | None:
+    """Parse one heartbeat file; ``None`` if absent or torn mid-crash.
+
+    Atomic writes should make torn files impossible; tolerating them
+    anyway keeps watchers alive across filesystems without atomic
+    rename."""
+    path = Path(path)
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None

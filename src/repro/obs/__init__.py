@@ -12,9 +12,12 @@ the whole deployment.  It provides, dependency-free:
 * :mod:`repro.obs.instruments` — the pre-registered instrument bundle the
   runtime, cluster, SFD core, supervisor, fault injector, and replay
   engine all report into;
+* :mod:`repro.obs.audit` — the QoS audit plane: rolling-window measured
+  TD/MR/QAP per node graded against requirements (SLO met/breached);
 * :mod:`repro.obs.exposition` — Prometheus text format rendering/parsing
   plus an asyncio HTTP endpoint and a minimal scrape client;
-* :mod:`repro.obs.console` — the ``repro top`` terminal renderer.
+* :mod:`repro.obs.console` — the ``repro top`` / ``repro audit``
+  terminal renderers.
 
 Quickstart::
 
@@ -43,6 +46,7 @@ from repro.obs.registry import (
     log_buckets,
     DEFAULT_LATENCY_BUCKETS,
 )
+from repro.obs.audit import QoSAuditor
 from repro.obs.events import EventLog
 from repro.obs.instruments import Instruments, STATUS_CODES
 from repro.obs.exposition import (
@@ -53,9 +57,11 @@ from repro.obs.exposition import (
     parse_prometheus,
     render_prometheus,
 )
-from repro.obs.console import STATUS_NAMES, render_top
+from repro.obs.console import STATUS_NAMES, render_audit, render_top
 
 __all__ = [
+    # audit
+    "QoSAuditor",
     # registry
     "Counter",
     "Gauge",
@@ -81,5 +87,6 @@ __all__ = [
     "render_prometheus",
     # console
     "STATUS_NAMES",
+    "render_audit",
     "render_top",
 ]

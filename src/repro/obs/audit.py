@@ -1,0 +1,369 @@
+"""QoS audit plane: live measured-vs-target SLO tracking (Fig. 5, live).
+
+The paper's feedback loop compares the detector's *self-measured* output
+QoS against the user's requirement ``(T̄D, M̄R, Q̄AP)``.  This module adds
+the independent half of that comparison for a running monitor: a
+:class:`QoSAuditor` rebuilds rolling-window estimates of the Eq. (1)
+tuple — detection time ``TD``, mistake rate ``MR``, query accuracy
+``QAP``, plus the auxiliary mistake duration ``T_M`` — purely from the
+membership observer stream (status transitions, restart adoptions) that
+:class:`~repro.obs.instruments.Instruments` already receives, and grades
+each node against its :class:`~repro.qos.spec.QoSRequirements`.
+
+Because it audits from the *outside*, its verdicts double-check the
+self-tuning core rather than echoing it: an SFD whose internal window
+says STABLE while the audited window is breaching is exactly the
+discrepancy this plane exists to surface.
+
+Semantics of the observer-stream estimates
+------------------------------------------
+* A transition **into** ``SUSPECT``/``DEAD`` opens a *pending* suspicion
+  episode and contributes one detection-time sample: the gap between the
+  node's last heartbeat arrival and the moment suspicion was raised —
+  the live proxy for "how long would a crash right after the last send
+  go unnoticed" (DESIGN.md §5).
+* A transition **back** to ``ACTIVE``/``SLOW`` proves the suspicion
+  wrong: the episode closes as one *mistake* with its duration.
+* A restart adoption (sequence regression past the reorder window)
+  proves the suspicion right — the node really died — so the pending
+  episode is discarded as a true detection, not a mistake.
+* A still-open episode is *pending*: it counts toward neither ``MR`` nor
+  ``QAP`` until recovery proves it wrong, so a genuinely dead node never
+  drags its own accuracy down.
+
+All estimates are evaluated over a trailing ``horizon`` seconds (the
+paper tunes "to match recent network conditions", Section I), pruned
+lazily at :meth:`QoSAuditor.collect` time — the heartbeat hot path never
+pays for the audit plane.
+
+Exported families (all refreshed per scrape via ``bind_monitor``):
+
+========================================  =======  ================
+``repro_qos_td_seconds``                  gauge    ``node``
+``repro_qos_mr``                          gauge    ``node``
+``repro_qos_qap``                         gauge    ``node``
+``repro_qos_mistake_duration_seconds``    gauge    ``node``
+``repro_slo_met``                         gauge    ``node``
+``repro_slo_breaches_total``              counter  ``node, bound``
+========================================  =======  ================
+
+plus ``slo_breach`` / ``slo_recovered`` / ``sfd_infeasible`` events in
+the trace ring.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.cluster.membership import NodeStatus
+from repro.core.feedback import TuningRecord, TuningStatus
+from repro.errors import ConfigurationError
+from repro.qos.spec import QoSRequirements
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import EventLog
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = ["QoSAuditor"]
+
+#: Statuses that mean "the monitor currently suspects this node".
+_SUSPECTED = frozenset({NodeStatus.SUSPECT, NodeStatus.DEAD})
+#: Statuses that prove a previous suspicion wrong when entered.
+_TRUSTED = frozenset({NodeStatus.ACTIVE, NodeStatus.SLOW})
+
+
+class _NodeAudit:
+    """Rolling-window evidence for one audited node."""
+
+    __slots__ = (
+        "requirements",
+        "first_seen",
+        "open_since",
+        "td_samples",
+        "episodes",
+        "met",
+        "last_record",
+    )
+
+    def __init__(self) -> None:
+        self.requirements: QoSRequirements | None = None
+        self.first_seen: float | None = None
+        #: Start time of the currently pending suspicion episode.
+        self.open_since: float | None = None
+        #: ``(at, td)`` detection-time samples, oldest first.
+        self.td_samples: list[tuple[float, float]] = []
+        #: Closed (proven-wrong) suspicion episodes ``(start, end)``.
+        self.episodes: list[tuple[float, float]] = []
+        #: Last SLO verdict (``None`` until first evaluated).
+        self.met: bool | None = None
+        #: Last self-tuning record seen for this node, if it runs an SFD.
+        self.last_record: TuningRecord | None = None
+
+
+class QoSAuditor:
+    """Grade live nodes against their QoS requirements, from observations.
+
+    Parameters
+    ----------
+    registry:
+        Metric families are registered here (a
+        :class:`~repro.obs.registry.NullRegistry` null-routes them all).
+    events:
+        Optional trace ring for ``slo_breach`` / ``slo_recovered`` /
+        ``sfd_infeasible`` events.
+    horizon:
+        Trailing evaluation window, seconds.  Evidence older than this is
+        pruned at :meth:`collect` time.
+    requirements:
+        Default ``(T̄D, M̄R, Q̄AP)`` for nodes whose detector does not
+        carry its own (non-SFD detectors).  Nodes with neither are
+        tracked but never graded (no ``repro_slo_met`` series).
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        *,
+        events: "EventLog | None" = None,
+        horizon: float = 60.0,
+        requirements: QoSRequirements | None = None,
+    ):
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be > 0, got {horizon!r}")
+        self.horizon = float(horizon)
+        self.events = events
+        self.default_requirements = requirements
+        self._nodes: dict[str, _NodeAudit] = {}
+        self.qos_td = registry.gauge(
+            "repro_qos_td_seconds",
+            "Audited mean detection time over the trailing window",
+            labels=("node",),
+        )
+        self.qos_mr = registry.gauge(
+            "repro_qos_mr",
+            "Audited mistake rate (wrong suspicions per second) over the window",
+            labels=("node",),
+        )
+        self.qos_qap = registry.gauge(
+            "repro_qos_qap",
+            "Audited query accuracy probability over the trailing window",
+            labels=("node",),
+        )
+        self.qos_tm = registry.gauge(
+            "repro_qos_mistake_duration_seconds",
+            "Audited mean wrong-suspicion duration over the window",
+            labels=("node",),
+        )
+        self.slo_met = registry.gauge(
+            "repro_slo_met",
+            "1 when the audited QoS satisfies the node's requirement, else 0",
+            labels=("node",),
+        )
+        self.slo_breaches = registry.counter(
+            "repro_slo_breaches_total",
+            "met->violated SLO flips, by the bound that broke",
+            labels=("node", "bound"),
+        )
+
+    # -- intake (rare-path hooks, O(1) each) ----------------------------- #
+
+    def _node(self, node: str) -> _NodeAudit:
+        audit = self._nodes.get(node)
+        if audit is None:
+            audit = _NodeAudit()
+            self._nodes[node] = audit
+        return audit
+
+    def watch(
+        self, node: str, *, requirements: QoSRequirements | None = None
+    ) -> None:
+        """Register a node, optionally binding its own requirement.
+
+        Called by ``Instruments.wrap_detector_factory`` with the
+        detector's ``requirements`` attribute when it has one, so SFD
+        nodes are graded against the same bounds they tune toward.
+        """
+        audit = self._node(node)
+        if requirements is not None:
+            audit.requirements = requirements
+
+    def on_transition(
+        self,
+        node: str,
+        old: NodeStatus,
+        new: NodeStatus,
+        at: float,
+        *,
+        last_arrival: float | None = None,
+    ) -> None:
+        """Fold one membership status edge into the evidence."""
+        audit = self._node(node)
+        if audit.first_seen is None:
+            audit.first_seen = at
+        if new in _SUSPECTED:
+            if audit.open_since is None:
+                audit.open_since = at
+                if (
+                    last_arrival is not None
+                    and math.isfinite(last_arrival)
+                    and at > last_arrival
+                ):
+                    audit.td_samples.append((at, at - last_arrival))
+        elif audit.open_since is not None:
+            if new in _TRUSTED:
+                # Recovery proves the suspicion wrong: one mistake.  The
+                # end is clamped: observers may classify at non-monotonic
+                # instants (e.g. a poller probing ahead of the arrival
+                # clock), and a mistake can never have negative duration.
+                audit.episodes.append(
+                    (audit.open_since, max(at, audit.open_since))
+                )
+            # UNKNOWN (detector reset) leaves the episode unclassifiable;
+            # either way the pending episode is resolved.
+            audit.open_since = None
+
+    def on_restart(self, node: str, restarts: int) -> None:
+        """A sequence-regression re-adoption: the suspicion was *right*.
+
+        The membership table fires this before the post-restart status
+        edge, so the pending episode is discarded here and the following
+        ``SUSPECT -> UNKNOWN`` transition has nothing left to close.
+        """
+        audit = self._nodes.get(node)
+        if audit is not None:
+            audit.open_since = None
+
+    def on_tuning_record(self, node: str, record: TuningRecord) -> None:
+        """Fold one self-tuning decision into the audit trail.
+
+        The record's QoS snapshot stays in the ``repro_sfd_*`` families
+        (the detector's *own* view); here it only feeds the decision
+        trail and the infeasibility edge event.
+        """
+        audit = self._node(node)
+        previous = audit.last_record
+        audit.last_record = record
+        if (
+            record.status is TuningStatus.INFEASIBLE
+            and (previous is None or previous.status is not TuningStatus.INFEASIBLE)
+            and self.events is not None
+        ):
+            self.events.emit(
+                "sfd_infeasible",
+                node=node,
+                slot=record.slot,
+                sm=record.sm_after,
+                td=record.qos.detection_time,
+                mr=record.qos.mistake_rate,
+                qap=record.qos.query_accuracy,
+            )
+
+    # -- evaluation (scrape-time) ---------------------------------------- #
+
+    def _window(self, audit: _NodeAudit, now: float) -> dict | None:
+        """Prune evidence and compute the trailing-window estimate."""
+        if audit.first_seen is None or now <= audit.first_seen:
+            return None
+        start = max(audit.first_seen, now - self.horizon)
+        accounted = now - start
+        if accounted <= 0:
+            return None
+        audit.td_samples = [(at, td) for at, td in audit.td_samples if at >= start]
+        audit.episodes = [(b, e) for b, e in audit.episodes if e >= start]
+        mistakes = len(audit.episodes)
+        # Each overlap is clamped at zero: an episode recorded ahead of
+        # ``now`` (observers may classify at a probe instant later than
+        # the arrival clock) must not subtract from the mistake budget.
+        mistake_time = sum(
+            max(0.0, min(e, now) - max(b, start)) for b, e in audit.episodes
+        )
+        mistake_time = min(mistake_time, accounted)
+        td = (
+            sum(td for _, td in audit.td_samples) / len(audit.td_samples)
+            if audit.td_samples
+            else None
+        )
+        return {
+            "td": td,
+            "mr": mistakes / accounted,
+            "qap": 1.0 - mistake_time / accounted,
+            "tm": mistake_time / mistakes if mistakes else None,
+            "mistakes": mistakes,
+            "accounted": accounted,
+        }
+
+    @staticmethod
+    def _violations(window: dict, req: QoSRequirements) -> list[str]:
+        """Bounds the window breaks.  An unmeasured TD (no suspicion ever
+        raised in the window) cannot violate the detection bound."""
+        out = []
+        td = window["td"]
+        if td is not None and td > req.max_detection_time:
+            out.append("detection_time")
+        if window["mr"] > req.max_mistake_rate:
+            out.append("mistake_rate")
+        if window["qap"] < req.min_query_accuracy:
+            out.append("query_accuracy")
+        return out
+
+    def collect(self, now: float) -> None:
+        """Refresh every exported gauge; fires breach/recovery edges.
+
+        Wired as part of the ``bind_monitor`` scrape-time collector, so
+        like every pull gauge its cost lands on the scraper.
+        """
+        for node, audit in self._nodes.items():
+            window = self._window(audit, now)
+            if window is None:
+                continue
+            if window["td"] is not None:
+                self.qos_td.labels(node).set(window["td"])
+            self.qos_mr.labels(node).set(window["mr"])
+            self.qos_qap.labels(node).set(window["qap"])
+            if window["tm"] is not None:
+                self.qos_tm.labels(node).set(window["tm"])
+            req = audit.requirements or self.default_requirements
+            if req is None:
+                continue
+            violated = self._violations(window, req)
+            met = not violated
+            self.slo_met.labels(node).set(1.0 if met else 0.0)
+            previous = audit.met
+            audit.met = met
+            if met and previous is False and self.events is not None:
+                self.events.emit("slo_recovered", node=node)
+            if not met and previous is not False:
+                for bound in violated:
+                    self.slo_breaches.labels(node, bound).inc()
+                if self.events is not None:
+                    self.events.emit(
+                        "slo_breach",
+                        node=node,
+                        violated=",".join(violated),
+                        td=window["td"],
+                        mr=window["mr"],
+                        qap=window["qap"],
+                        target_td=req.max_detection_time,
+                        target_mr=req.max_mistake_rate,
+                        target_qap=req.min_query_accuracy,
+                    )
+
+    # -- programmatic access --------------------------------------------- #
+
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(self._nodes)
+
+    def report(self, node: str, now: float) -> dict:
+        """One node's audited window plus its verdict, as a plain dict."""
+        audit = self._nodes.get(node)
+        if audit is None:
+            return {}
+        window = self._window(audit, now) or {}
+        req = audit.requirements or self.default_requirements
+        if window and req is not None:
+            window["violated"] = self._violations(window, req)
+            window["met"] = not window["violated"]
+        if audit.last_record is not None:
+            window["tuning_status"] = audit.last_record.status.value
+        return window

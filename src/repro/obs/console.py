@@ -1,18 +1,20 @@
-"""`repro top` rendering: a terminal view built from scraped metrics.
+"""`repro top` / `repro audit` rendering: terminal views of scraped metrics.
 
-The renderer consumes :class:`~repro.obs.exposition.ParsedMetrics` (the
-output of scraping the Prometheus endpoint), *not* live objects — so the
-console works against any process exposing the catalog, exactly like a
-dashboard would, and doubles as an end-to-end check of the exposure layer.
+The renderers consume :class:`~repro.obs.exposition.ParsedMetrics` (the
+output of scraping the Prometheus endpoint) plus, for the audit view, the
+``/events`` trace tail — *not* live objects — so the console works against
+any process exposing the catalog, exactly like a dashboard would, and
+doubles as an end-to-end check of the exposure layer.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Iterable
 
 from repro.obs.exposition import ParsedMetrics
 
-__all__ = ["STATUS_NAMES", "render_top"]
+__all__ = ["STATUS_NAMES", "render_audit", "render_top"]
 
 #: Inverse of :data:`repro.obs.instruments.STATUS_CODES` (kept as a plain
 #: table so this module depends only on the wire format).
@@ -70,7 +72,7 @@ def render_top(metrics: ParsedMetrics, *, title: str = "repro top") -> str:
     lines.append("")
 
     header = (
-        f"{'NODE':<16} {'STATUS':<8} {'SUSP':>8} {'HB':>8} {'RST':>4} "
+        f"{'NODE':<16} {'STATUS':<8} {'SLO':<5} {'SUSP':>8} {'HB':>8} {'RST':>4} "
         f"{'SM[s]':>8} {'TD/target':>16} {'MR/target':>16} {'QAP/target':>16}"
     )
     lines.append(header)
@@ -78,6 +80,7 @@ def render_top(metrics: ParsedMetrics, *, title: str = "repro top") -> str:
     for node in nodes:
         code = metrics.value("repro_node_status", node=node)
         status = STATUS_NAMES.get(int(code) if code is not None else 0, "?")
+        slo = _slo_verdict(metrics.value("repro_slo_met", node=node))
         susp = metrics.value("repro_node_suspicion", node=node)
         hb = metrics.value("repro_heartbeats_received_total", node=node)
         rst = metrics.value("repro_node_restarts_total", node=node, default=0.0)
@@ -98,10 +101,134 @@ def render_top(metrics: ParsedMetrics, *, title: str = "repro top") -> str:
             lower_is_ok=False,
         )
         lines.append(
-            f"{node:<16} {status:<8} {_fmt(susp, '.2f'):>8} "
+            f"{node:<16} {status:<8} {slo:<5} {_fmt(susp, '.2f'):>8} "
             f"{_fmt(hb, '.0f'):>8} {int(rst or 0):>4} {_fmt(sm):>8} "
             f"{td:>16} {mr:>16} {qap:>16}"
         )
     if not nodes:
         lines.append("(no nodes reported yet)")
+    return "\n".join(lines)
+
+
+def _slo_verdict(met: float | None) -> str:
+    """``repro_slo_met`` gauge value to a column cell."""
+    if met is None:
+        return "-"
+    return "met" if met else "VIOL"
+
+
+#: One character per Sat_k branch for compact decision histories.
+_DECISION_GLYPHS = {"stable": "=", "grow": "+", "shrink": "-", "infeasible": "x"}
+
+
+def render_audit(
+    metrics: ParsedMetrics,
+    events: Iterable[dict] = (),
+    *,
+    title: str = "repro audit",
+    trail: int = 8,
+) -> str:
+    """The QoS audit view: SLO status, SM trajectories, decision history.
+
+    Parameters
+    ----------
+    metrics:
+        A parsed scrape of the ``repro_qos_*`` / ``repro_slo_*`` /
+        ``repro_sfd_*`` families.
+    events:
+        Trace events (the ``/events`` tail or ``EventLog.recent()``);
+        ``sfd_slot`` events feed the per-node trajectory section, and
+        breach/infeasibility events feed the recent-events tail.
+    trail:
+        How many trailing SM(k) values to print per node.
+    """
+    events = list(events)
+    slots_by_node: dict[str, list[dict]] = {}
+    for e in events:
+        if e.get("kind") == "sfd_slot" and "node" in e:
+            slots_by_node.setdefault(e["node"], []).append(e)
+
+    nodes = sorted(
+        set(metrics.label_values("repro_qos_qap", "node"))
+        | set(metrics.label_values("repro_slo_met", "node"))
+        | set(slots_by_node)
+    )
+    lines: list[str] = [f"{title} — {len(nodes)} node(s) audited", ""]
+
+    header = (
+        f"{'NODE':<16} {'SLO':<5} {'BREACH':>6} {'TUNE':<10} "
+        f"{'TD/target':>16} {'MR/target':>16} {'QAP/target':>16} {'T_M[s]':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for node in nodes:
+        slo = _slo_verdict(metrics.value("repro_slo_met", node=node))
+        breaches = sum(
+            value
+            for labelset, value in metrics.series("repro_slo_breaches_total").items()
+            if dict(labelset).get("node") == node
+        )
+        slots = slots_by_node.get(node, [])
+        tune = slots[-1].get("status", "-") if slots else "-"
+        td = _vs_target(
+            metrics.value("repro_qos_td_seconds", node=node),
+            metrics.value("repro_sfd_target_detection_time_seconds", node=node),
+            lower_is_ok=True,
+        )
+        mr = _vs_target(
+            metrics.value("repro_qos_mr", node=node),
+            metrics.value("repro_sfd_target_mistake_rate", node=node),
+            lower_is_ok=True,
+        )
+        qap = _vs_target(
+            metrics.value("repro_qos_qap", node=node),
+            metrics.value("repro_sfd_target_query_accuracy", node=node),
+            lower_is_ok=False,
+        )
+        tm = metrics.value("repro_qos_mistake_duration_seconds", node=node)
+        lines.append(
+            f"{node:<16} {slo:<5} {int(breaches):>6} {str(tune):<10} "
+            f"{td:>16} {mr:>16} {qap:>16} {_fmt(tm):>8}"
+        )
+    if not nodes:
+        lines.append("(no nodes audited yet)")
+
+    tuned = [n for n in nodes if slots_by_node.get(n)]
+    if tuned:
+        lines.append("")
+        lines.append("self-tuning trajectory (SM(k), oldest→newest):")
+        for node in tuned:
+            slots = slots_by_node[node]
+            glyphs = "".join(
+                _DECISION_GLYPHS.get(e.get("decision", ""), "?") for e in slots
+            )
+            sm_trail = " ".join(_fmt(e.get("sm_after")) for e in slots[-trail:])
+            first, last = slots[0], slots[-1]
+            lines.append(
+                f"  {node:<16} {len(slots):>3} slot(s)  "
+                f"SM {_fmt(first.get('sm_before'))} → {_fmt(last.get('sm_after'))}  "
+                f"sat[{glyphs}]"
+            )
+            lines.append(f"  {'':<16} tail: {sm_trail}")
+
+    notable = [
+        e for e in events
+        if e.get("kind") in ("slo_breach", "slo_recovered", "sfd_infeasible")
+    ]
+    if notable:
+        lines.append("")
+        lines.append("recent SLO events:")
+        for e in notable[-6:]:
+            if e["kind"] == "slo_breach":
+                lines.append(
+                    f"  breach     {e.get('node', '?'):<16} "
+                    f"violated={e.get('violated', '?')}"
+                )
+            elif e["kind"] == "slo_recovered":
+                lines.append(f"  recovered  {e.get('node', '?'):<16}")
+            else:
+                lines.append(
+                    f"  infeasible {e.get('node', '?'):<16} "
+                    f"slot={e.get('slot', '?')} (gave a response)"
+                )
     return "\n".join(lines)

@@ -27,8 +27,15 @@ Kinds emitted by the built-in instrumentation (see
 ``restart``
     ``node, restarts`` — sequence-regression restart adoption.
 ``sfd_slot``
-    ``node, slot, sm_before, sm_after, decision, td, mr, qap`` — one
-    feedback step of Eq. (12).
+    ``node, slot, sm_before, sm_after, decision, status, td, mr, qap`` —
+    one feedback step of Eq. (12), including the controller life-cycle
+    status after the decision.
+``sfd_infeasible``
+    ``node, slot, sm, td, mr, qap`` — the controller entered Algorithm
+    1's "give a response" terminal state.
+``slo_breach`` / ``slo_recovered``
+    ``node`` plus (on breach) the violated bounds and measured-vs-target
+    tuple — the audit plane's met→violated edges.
 ``task_crash`` / ``task_giveup``
     supervisor lifecycle.
 ``sender_reopen``
@@ -82,6 +89,7 @@ class EventLog:
         self.capacity = int(capacity)
         self.enabled = self.capacity > 0
         self.emitted = 0
+        self.dropped = 0
         self._clock = clock
         self._buf: deque[dict] = deque(maxlen=self.capacity or 1)
 
@@ -91,6 +99,10 @@ class EventLog:
             return
         event = {"ts": self._clock(), "kind": kind}
         event.update(fields)
+        if len(self._buf) == self.capacity:
+            # The deque is about to evict its oldest entry; account for it
+            # so `repro_trace_dropped_total` can surface ring overruns.
+            self.dropped += 1
         self._buf.append(event)
         self.emitted += 1
 

@@ -12,6 +12,9 @@ Routes served by :class:`MetricsServer`:
     Prometheus text format of the bound registry (collectors run first).
 ``GET /events``
     Newline-delimited JSON tail of the bound event log (404 if none).
+``GET /runs``
+    JSON array of ``RUN_PROGRESS.json`` heartbeats under the bound runs
+    source (404 if none bound) — live ``repro run`` progress telemetry.
 ``GET /healthz``
     ``ok`` — liveness for the monitor itself (who watches the watcher).
 """
@@ -19,9 +22,12 @@ Routes served by :class:`MetricsServer`:
 from __future__ import annotations
 
 import asyncio
+import json
 import math
 import re
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
 from urllib.parse import urlsplit
 
 from repro.errors import ConfigurationError
@@ -202,8 +208,47 @@ def parse_prometheus(text: str) -> ParsedMetrics:
 # --------------------------------------------------------------------- #
 
 
+def _collect_runs(source) -> list[dict]:
+    """Resolve a ``/runs`` source into progress payloads.
+
+    A callable yields its return value (one dict or a list of dicts); a
+    file path yields that heartbeat; a directory yields every
+    ``RUN_PROGRESS.json`` directly inside it or one level down (the
+    shard-directory layout of ``repro run --shard``).  Torn or vanished
+    files are skipped — a watcher must never 500 because a run is mid-
+    rotation.
+    """
+    from repro.exp.progress import read_progress
+
+    if callable(source):
+        payload = source()
+        if payload is None:
+            return []
+        return list(payload) if isinstance(payload, (list, tuple)) else [payload]
+    root = Path(source)
+    if root.is_file():
+        candidates = [root]
+    else:
+        candidates = sorted(
+            {*root.glob("RUN_PROGRESS.json"), *root.glob("*/RUN_PROGRESS.json")}
+        )
+    out = []
+    for path in candidates:
+        payload = read_progress(path)
+        if payload is not None:
+            payload["path"] = str(path)
+            out.append(payload)
+    return out
+
+
 class MetricsServer:
     """Asyncio HTTP endpoint exposing a registry (and optional event log).
+
+    ``runs`` optionally binds a run-progress source for the ``/runs``
+    route: a ``RUN_PROGRESS.json`` path, an archive directory holding
+    one (or shard subdirectories of them), or a zero-arg callable
+    returning payload dict(s) — e.g. ``progress.snapshot`` for a run in
+    this very process.
 
     Usage::
 
@@ -219,10 +264,12 @@ class MetricsServer:
         registry: MetricsRegistry,
         *,
         events: EventLog | None = None,
+        runs: "str | Path | Callable[[], Any] | None" = None,
         bind: tuple[str, int] = ("127.0.0.1", 0),
     ):
         self.registry = registry
         self.events = events
+        self.runs = runs
         self._bind = bind
         self._server: asyncio.base_events.Server | None = None
         self.requests = 0
@@ -265,6 +312,13 @@ class MetricsServer:
                 return 404, "text/plain", "no event log bound\n"
             body = self.events.to_json_lines()
             return 200, "application/x-ndjson", body + ("\n" if body else "")
+        if path == "/runs":
+            if self.runs is None:
+                return 404, "text/plain", "no runs source bound\n"
+            body = json.dumps(
+                {"runs": _collect_runs(self.runs)}, indent=2, sort_keys=True
+            )
+            return 200, "application/json", body + "\n"
         if path == "/healthz":
             return 200, "text/plain", "ok\n"
         return 404, "text/plain", f"unknown path {path}\n"

@@ -25,14 +25,17 @@ import math
 from typing import TYPE_CHECKING, Callable
 
 from repro.cluster.membership import NodeStatus
+from repro.obs.audit import QoSAuditor
 from repro.obs.events import EventLog
 from repro.obs.registry import (
     MetricsRegistry,
     NullRegistry,
+    heartbeat_fast_path,
     log_buckets,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.feedback import TuningRecord
     from repro.detectors.base import FailureDetector
     from repro.qos.spec import QoSReport
     from repro.runtime.monitor import LiveMonitor
@@ -69,6 +72,10 @@ class Instruments:
         Emit one ``heartbeat`` event per received heartbeat carrying the
         full send→arrival→freshness-point→verdict context.  Off by default
         because the verdict costs one suspicion query per heartbeat.
+    audit:
+        The QoS audit plane (:class:`~repro.obs.audit.QoSAuditor`).  One
+        is built over this bundle's registry/events by default; pass your
+        own to customize its horizon or default requirements.
     """
 
     def __init__(
@@ -77,11 +84,17 @@ class Instruments:
         events: EventLog | None = None,
         *,
         trace_heartbeats: bool = False,
+        audit: QoSAuditor | None = None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.events = events if events is not None else EventLog()
         self.trace_heartbeats = bool(trace_heartbeats)
         r = self.registry
+        self.audit = (
+            audit
+            if audit is not None
+            else QoSAuditor(r, events=self.events)
+        )
 
         # -- transport (UDP listener / sender) -------------------------- #
         self.datagrams = r.counter(
@@ -287,7 +300,28 @@ class Instruments:
             labels=("reason",),
         )
 
+        # -- trace ring health ------------------------------------------- #
+        self.trace_dropped = r.counter(
+            "repro_trace_dropped_total",
+            "Trace events evicted from the ring buffer before being read",
+        )
+        # The ring drops silently on the emit hot path; reconcile the
+        # counter at scrape time instead of pricing every emit.
+        self._dropped_synced = 0
+        r.add_collector(self._sync_trace_dropped)
+
         self._prev_arrival: dict[str, float] = {}
+        # Per-node fused beat closures for the per-heartbeat hot path: one
+        # dict lookup and one call instead of the labels() tuple-key
+        # machinery per beat.  Safe to cache: child series are never
+        # evicted while a node is monitored.
+        self._hb_fast: dict[str, Callable[[float | None], None]] = {}
+
+    def _sync_trace_dropped(self) -> None:
+        delta = self.events.dropped - self._dropped_synced
+        if delta > 0:
+            self._dropped_synced = self.events.dropped
+            self.trace_dropped.inc(delta)
 
     @classmethod
     def null(cls) -> "Instruments":
@@ -331,11 +365,15 @@ class Instruments:
     ) -> None:
         """Per-heartbeat hot path: counter + inter-arrival histogram, plus
         the full trace event when ``trace_heartbeats`` is on."""
-        self.heartbeats.labels(node).inc()
+        beat = self._hb_fast.get(node)
+        if beat is None:
+            beat = heartbeat_fast_path(
+                self.heartbeats.labels(node), self.interarrival.labels(node)
+            )
+            self._hb_fast[node] = beat
         prev = self._prev_arrival.get(node)
         self._prev_arrival[node] = arrival
-        if prev is not None and arrival > prev:
-            self.interarrival.labels(node).observe(arrival - prev)
+        beat(arrival - prev if prev is not None and arrival > prev else None)
         if self.trace_heartbeats:
             # None (JSON null), not NaN: the event stream must stay valid
             # strict JSON for downstream consumers.
@@ -374,38 +412,52 @@ class Instruments:
         self.events.emit(
             "transition", node=node, **{"from": old.value, "to": new.value}, at=at
         )
+        self.audit.on_transition(
+            node, old, new, at, last_arrival=self._prev_arrival.get(node)
+        )
 
     def on_restart(self, node: str, restarts: int) -> None:
         self.restarts.labels(node).inc()
         self.events.emit("restart", node=node, restarts=restarts)
+        self.audit.on_restart(node, restarts)
 
     # ------------------------------------------------------------------ #
     # SFD feedback hooks
     # ------------------------------------------------------------------ #
 
+    def on_tuning_record(self, node: str, rec: "TuningRecord") -> None:
+        """One feedback step of Eq. (12): the single intake shared by the
+        SFD metric families, the trace ring, and the audit plane — every
+        consumer sees the *full* record, including the controller's
+        life-cycle status (so infeasibility verdicts are never lost to a
+        partial view)."""
+        q: QoSReport = rec.qos
+        self.sfd_margin.labels(node).set(rec.sm_after)
+        self.sfd_margin_hist.labels(node).observe(rec.sm_after)
+        self.sfd_slots.labels(node).inc()
+        self.sfd_decisions.labels(node, rec.decision.name.lower()).inc()
+        self.sfd_td.labels(node).set(q.detection_time)
+        self.sfd_mr.labels(node).set(q.mistake_rate)
+        self.sfd_qap.labels(node).set(q.query_accuracy)
+        self.events.emit(
+            "sfd_slot",
+            node=node,
+            slot=rec.slot,
+            sm_before=rec.sm_before,
+            sm_after=rec.sm_after,
+            decision=rec.decision.name.lower(),
+            status=rec.status.value,
+            td=q.detection_time,
+            mr=q.mistake_rate,
+            qap=q.query_accuracy,
+        )
+        self.audit.on_tuning_record(node, rec)
+
     def sfd_slot_hook(self, node: str) -> Callable:
         """Per-node ``on_slot`` callback for :class:`repro.core.sfd.SFD`."""
 
-        def hook(rec) -> None:  # rec: repro.core.feedback.TuningRecord
-            q: QoSReport = rec.qos
-            self.sfd_margin.labels(node).set(rec.sm_after)
-            self.sfd_margin_hist.labels(node).observe(rec.sm_after)
-            self.sfd_slots.labels(node).inc()
-            self.sfd_decisions.labels(node, rec.decision.name.lower()).inc()
-            self.sfd_td.labels(node).set(q.detection_time)
-            self.sfd_mr.labels(node).set(q.mistake_rate)
-            self.sfd_qap.labels(node).set(q.query_accuracy)
-            self.events.emit(
-                "sfd_slot",
-                node=node,
-                slot=rec.slot,
-                sm_before=rec.sm_before,
-                sm_after=rec.sm_after,
-                decision=rec.decision.name.lower(),
-                td=q.detection_time,
-                mr=q.mistake_rate,
-                qap=q.query_accuracy,
-            )
+        def hook(rec: "TuningRecord") -> None:
+            self.on_tuning_record(node, rec)
 
         return hook
 
@@ -413,7 +465,8 @@ class Instruments:
         self, factory: Callable[[str], "FailureDetector"]
     ) -> Callable[[str], "FailureDetector"]:
         """Wrap a per-node detector factory so self-tuning detectors report
-        their feedback loop (SM trajectory, decisions, QoS vs targets)."""
+        their feedback loop (SM trajectory, decisions, QoS vs targets) and
+        the audit plane grades each node against its own requirement."""
 
         def build(node_id: str) -> "FailureDetector":
             det = factory(node_id)
@@ -424,6 +477,7 @@ class Instruments:
                 self.sfd_target_td.labels(node_id).set(req.max_detection_time)
                 self.sfd_target_mr.labels(node_id).set(req.max_mistake_rate)
                 self.sfd_target_qap.labels(node_id).set(req.min_query_accuracy)
+            self.audit.watch(node_id, requirements=req)
             return det
 
         return build
@@ -521,5 +575,6 @@ class Instruments:
                 self.nodes_by_status.labels(status.value).set(n)
             self.monitor_nodes.set(len(monitor.table))
             self.monitor_received.set(monitor.received)
+            self.audit.collect(now)
 
         self.registry.add_collector(collect)

@@ -135,7 +135,7 @@ class Histogram:
     arbitrary ascending bounds fall back to bisection.
     """
 
-    __slots__ = ("bounds", "counts", "sum", "count", "_log_lo", "_inv_step")
+    __slots__ = ("bounds", "counts", "sum", "count", "_log_lo", "_inv_step", "_hot")
     kind = "histogram"
 
     def __init__(self, bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS) -> None:
@@ -150,6 +150,7 @@ class Histogram:
         self.count = 0
         self._log_lo = math.nan
         self._inv_step = math.nan
+        self._hot = 0
         if len(bounds) >= 2 and bounds[0] > 0:
             ratios = [b2 / b1 for b1, b2 in zip(bounds, bounds[1:])]
             if max(ratios) / min(ratios) < 1.0 + 1e-9:
@@ -160,13 +161,21 @@ class Histogram:
         v = float(value)
         self.sum += v
         self.count += 1
+        self.counts[self._index(v)] += 1
+
+    def _index(self, v: float) -> int:
+        """Bucket index for ``v``, maintaining the hot-bucket cache:
+        stationary streams (heartbeat inter-arrivals) land in the same
+        bucket nearly every time, so the previous bucket is re-checked
+        before computing an index."""
         bounds = self.bounds
+        i = self._hot
+        if i and v <= bounds[i] and v > bounds[i - 1]:
+            return i
         if v <= bounds[0]:
-            self.counts[0] += 1
-            return
+            return 0
         if v > bounds[-1]:
-            self.counts[-1] += 1
-            return
+            return len(bounds)
         if self._inv_step == self._inv_step:  # geometric: O(1) index
             i = int((math.log(v) - self._log_lo) * self._inv_step) + 1
             # Float fix-up: the log estimate can be off by one at bucket
@@ -177,7 +186,8 @@ class Histogram:
                 i += 1
         else:
             i = bisect_left(bounds, v)
-        self.counts[i] += 1
+        self._hot = i
+        return i
 
     def get(self) -> HistogramValue:
         return HistogramValue(
@@ -219,6 +229,45 @@ class _NullInstrument:
 
 
 _NULL = _NullInstrument()
+
+
+def heartbeat_fast_path(counter, histogram) -> "Callable[[float | None], None]":
+    """Build the one-call-per-beat fast path for a single node: bump the
+    heartbeat counter and, when an inter-arrival ``delta`` is known, feed
+    the histogram.  Against concrete :class:`Counter`/:class:`Histogram`
+    children the updates are inlined over captured locals (the heartbeat
+    loop is the monitoring hot path and pays for every indirection);
+    anything else — null or custom registries — falls back to the
+    instruments' public methods.
+    """
+    if type(counter) is Counter and type(histogram) is Histogram:
+
+        def beat(
+            delta,
+            c=counter,
+            h=histogram,
+            counts=histogram.counts,
+            bounds=histogram.bounds,
+        ):
+            c.value += 1.0
+            if delta is None:
+                return
+            h.sum += delta
+            h.count += 1
+            i = h._hot
+            if i and delta <= bounds[i] and delta > bounds[i - 1]:
+                counts[i] += 1
+            else:
+                counts[h._index(delta)] += 1
+
+        return beat
+
+    def beat(delta, inc=counter.inc, observe=histogram.observe):
+        inc()
+        if delta is not None:
+            observe(delta)
+
+    return beat
 
 
 class MetricFamily:

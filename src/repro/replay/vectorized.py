@@ -375,6 +375,7 @@ def sfd_freshness(
                         decision=driver.controller.last_decision
                         or Satisfaction.STABLE,
                         qos=snapshot,
+                        status=driver.status,
                     )
                 )
         start = stop

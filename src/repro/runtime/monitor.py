@@ -12,6 +12,9 @@ heartbeat increments per-node counters and inter-arrival histograms (and
 optionally a full lifecycle trace event), the table surfaces status
 transitions/restarts/stale drops, self-tuning detectors export their
 SM(k) trajectory, and a scrape-time collector refreshes per-node gauges.
+The same observer stream feeds the QoS audit plane
+(:mod:`repro.obs.audit`): measured TD/MR/QAP per node, graded live
+against each detector's requirements (``repro_slo_*``, ``repro audit``).
 """
 
 from __future__ import annotations

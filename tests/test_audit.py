@@ -1,0 +1,717 @@
+"""QoS audit plane + run-progress telemetry (observability PR).
+
+Covers the :class:`~repro.obs.audit.QoSAuditor` evidence semantics
+(pending episodes, restart adoption, trailing windows, breach edges),
+the shared tuning-record intake, the trace-ring drop counter, the
+``repro audit`` renderers, the exposition round-trip, the crash-safe
+``RUN_PROGRESS.json`` heartbeat, and the ``/runs`` endpoint — ending
+with the acceptance path: a chaos-storm ``repro run`` whose progress
+file agrees with the archive it wrote.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cluster.membership import NodeStatus
+from repro.core.feedback import Satisfaction, TuningRecord, TuningStatus
+from repro.core.sfd import SFD, SlotConfig
+from repro.errors import ConfigurationError
+from repro.exp import (
+    ChaosSchedule,
+    FailurePolicy,
+    FlakyExecutor,
+    JobFailedError,
+    JobFault,
+    ProgressInstruments,
+    RunProgress,
+    SerialExecutor,
+    SweepCache,
+    load_config,
+    read_progress,
+    run_config,
+)
+from repro.obs import (
+    EventLog,
+    Instruments,
+    MetricsRegistry,
+    MetricsServer,
+    QoSAuditor,
+    http_get,
+    parse_prometheus,
+    render_audit,
+    render_prometheus,
+    render_top,
+)
+from repro.qos.spec import QoSReport, QoSRequirements
+
+from tests.test_exp_resilience import FAST, tiny_plan
+
+REQ = QoSRequirements(
+    max_detection_time=1.0, max_mistake_rate=0.1, min_query_accuracy=0.9
+)
+
+
+def make_auditor(**kwargs):
+    registry = MetricsRegistry()
+    events = EventLog()
+    return QoSAuditor(registry, events=events, **kwargs), registry, events
+
+
+def record(slot=1, decision=Satisfaction.STABLE, status=TuningStatus.TUNING):
+    return TuningRecord(
+        slot=slot,
+        time=float(slot),
+        sm_before=0.1,
+        sm_after=0.1,
+        decision=decision,
+        qos=QoSReport(0.5, 0.0, 1.0),
+        status=status,
+    )
+
+
+class TestQoSAuditor:
+    def test_mistake_episode_lifecycle(self):
+        a, r, _ = make_auditor(horizon=60.0)
+        a.watch("n", requirements=REQ)
+        a.on_transition("n", NodeStatus.UNKNOWN, NodeStatus.ACTIVE, 0.0)
+        a.on_transition(
+            "n", NodeStatus.ACTIVE, NodeStatus.SUSPECT, 10.0, last_arrival=9.5
+        )
+        a.on_transition("n", NodeStatus.SUSPECT, NodeStatus.ACTIVE, 11.0)
+        a.collect(20.0)
+        snap = r.snapshot(run_collectors=False)
+        assert snap.get("repro_qos_td_seconds", "n") == pytest.approx(0.5)
+        assert snap.get("repro_qos_mr", "n") == pytest.approx(1 / 20)
+        assert snap.get("repro_qos_qap", "n") == pytest.approx(1 - 1 / 20)
+        assert snap.get("repro_qos_mistake_duration_seconds", "n") == pytest.approx(
+            1.0
+        )
+        assert snap.get("repro_slo_met", "n") == 1.0
+
+    def test_episode_ahead_of_collect_clock_cannot_inflate_qap(self):
+        # Observers may classify at a probe instant *later* than the
+        # arrival clock (e.g. a dashboard polling mid-gap at t+0.3 while
+        # collect() runs on the max-arrival clock).  Such time-travel
+        # must clamp to zero mistake time — never go negative and push
+        # QAP above 1.
+        a, r, _ = make_auditor()
+        a.watch("n", requirements=REQ)
+        a.on_transition("n", NodeStatus.UNKNOWN, NodeStatus.ACTIVE, 0.0)
+        # Suspicion raised at a future probe instant, recovery stamped
+        # even earlier by the arrival-clocked sweep that follows.
+        a.on_transition(
+            "n", NodeStatus.ACTIVE, NodeStatus.SUSPECT, 12.3, last_arrival=9.9
+        )
+        a.on_transition("n", NodeStatus.SUSPECT, NodeStatus.ACTIVE, 12.05)
+        a.collect(10.0)
+        snap = r.snapshot(run_collectors=False)
+        assert snap.get("repro_qos_mr", "n") == pytest.approx(1 / 10)
+        assert snap.get("repro_qos_qap", "n") == 1.0
+        assert snap.get("repro_qos_mistake_duration_seconds", "n") == 0.0
+
+    def test_pending_episode_counts_toward_nothing(self):
+        # A node that is genuinely down stays SUSPECT: until recovery
+        # proves the suspicion wrong it must not drag MR/QAP down.
+        a, r, _ = make_auditor()
+        a.watch("n", requirements=REQ)
+        a.on_transition("n", NodeStatus.UNKNOWN, NodeStatus.ACTIVE, 0.0)
+        a.on_transition(
+            "n", NodeStatus.ACTIVE, NodeStatus.DEAD, 5.0, last_arrival=4.8
+        )
+        a.collect(30.0)
+        snap = r.snapshot(run_collectors=False)
+        assert snap.get("repro_qos_mr", "n") == 0.0
+        assert snap.get("repro_qos_qap", "n") == 1.0
+        # ... but the detection-time sample is real evidence already.
+        assert snap.get("repro_qos_td_seconds", "n") == pytest.approx(0.2)
+        assert snap.get("repro_slo_met", "n") == 1.0
+
+    def test_restart_discards_episode_as_true_detection(self):
+        a, r, _ = make_auditor()
+        a.watch("n", requirements=REQ)
+        a.on_transition("n", NodeStatus.UNKNOWN, NodeStatus.ACTIVE, 0.0)
+        a.on_transition(
+            "n", NodeStatus.ACTIVE, NodeStatus.SUSPECT, 5.0, last_arrival=4.9
+        )
+        a.on_restart("n", 1)
+        # The membership table fires the reset edge *after* on_restart.
+        a.on_transition("n", NodeStatus.SUSPECT, NodeStatus.UNKNOWN, 5.1)
+        a.on_transition("n", NodeStatus.UNKNOWN, NodeStatus.ACTIVE, 6.0)
+        a.collect(10.0)
+        snap = r.snapshot(run_collectors=False)
+        assert snap.get("repro_qos_mr", "n") == 0.0  # not a mistake
+        assert snap.get("repro_qos_qap", "n") == 1.0
+
+    def test_unknown_resolution_is_not_a_mistake(self):
+        a, r, _ = make_auditor()
+        a.watch("n", requirements=REQ)
+        a.on_transition("n", NodeStatus.UNKNOWN, NodeStatus.ACTIVE, 0.0)
+        a.on_transition("n", NodeStatus.ACTIVE, NodeStatus.SUSPECT, 2.0)
+        a.on_transition("n", NodeStatus.SUSPECT, NodeStatus.UNKNOWN, 3.0)
+        a.collect(10.0)
+        assert r.snapshot(run_collectors=False).get("repro_qos_mr", "n") == 0.0
+
+    def test_trailing_window_prunes_old_evidence(self):
+        a, r, _ = make_auditor(horizon=10.0)
+        a.watch("n", requirements=REQ)
+        a.on_transition("n", NodeStatus.UNKNOWN, NodeStatus.ACTIVE, 0.0)
+        a.on_transition(
+            "n", NodeStatus.ACTIVE, NodeStatus.SUSPECT, 1.0, last_arrival=0.5
+        )
+        a.on_transition("n", NodeStatus.SUSPECT, NodeStatus.ACTIVE, 2.0)
+        a.collect(5.0)
+        snap = r.snapshot(run_collectors=False)
+        assert snap.get("repro_qos_mr", "n") == pytest.approx(1 / 5)
+        a.collect(50.0)  # the mistake left the window
+        snap = r.snapshot(run_collectors=False)
+        assert snap.get("repro_qos_mr", "n") == 0.0
+        assert snap.get("repro_qos_qap", "n") == 1.0
+
+    def test_breach_counts_flips_not_scrapes(self):
+        a, r, ev = make_auditor(horizon=10.0)
+        tight = QoSRequirements(max_mistake_rate=0.01)
+        a.watch("n", requirements=tight)
+        a.on_transition("n", NodeStatus.UNKNOWN, NodeStatus.ACTIVE, 0.0)
+        a.on_transition("n", NodeStatus.ACTIVE, NodeStatus.SUSPECT, 1.0)
+        a.on_transition("n", NodeStatus.SUSPECT, NodeStatus.ACTIVE, 1.5)
+        a.collect(2.0)
+        a.collect(3.0)  # still violated: must not double count
+        snap = r.snapshot(run_collectors=False)
+        assert snap.get("repro_slo_met", "n") == 0.0
+        assert snap.get("repro_slo_breaches_total", "n", "mistake_rate") == 1.0
+        breach = ev.recent(kind="slo_breach")
+        assert len(breach) == 1 and breach[0]["violated"] == "mistake_rate"
+
+        a.collect(30.0)  # mistake aged out: recovery edge
+        assert r.snapshot(run_collectors=False).get("repro_slo_met", "n") == 1.0
+        assert ev.recent(kind="slo_recovered")
+        # A second storm flips again and counts again.
+        a.on_transition("n", NodeStatus.ACTIVE, NodeStatus.SUSPECT, 31.0)
+        a.on_transition("n", NodeStatus.SUSPECT, NodeStatus.ACTIVE, 31.5)
+        a.collect(32.0)
+        snap = r.snapshot(run_collectors=False)
+        assert snap.get("repro_slo_breaches_total", "n", "mistake_rate") == 2.0
+
+    def test_unmeasured_td_cannot_violate_detection_bound(self):
+        a, r, _ = make_auditor()
+        a.watch("n", requirements=QoSRequirements(max_detection_time=1e-6))
+        a.on_transition("n", NodeStatus.UNKNOWN, NodeStatus.ACTIVE, 0.0)
+        a.collect(10.0)
+        assert r.snapshot(run_collectors=False).get("repro_slo_met", "n") == 1.0
+
+    def test_default_requirements_grade_plain_detectors(self):
+        a, r, _ = make_auditor(requirements=REQ)
+        a.watch("n")  # no per-node requirement (e.g. a PhiFD node)
+        a.on_transition("n", NodeStatus.UNKNOWN, NodeStatus.ACTIVE, 0.0)
+        a.collect(10.0)
+        assert r.snapshot(run_collectors=False).get("repro_slo_met", "n") == 1.0
+
+    def test_ungraded_without_any_requirement(self):
+        a, r, _ = make_auditor()
+        a.watch("n")
+        a.on_transition("n", NodeStatus.UNKNOWN, NodeStatus.ACTIVE, 0.0)
+        a.collect(10.0)
+        snap = r.snapshot(run_collectors=False)
+        assert snap.get("repro_qos_qap", "n") == 1.0  # measured…
+        assert snap.get("repro_slo_met", "n") is None  # …but never graded
+
+    def test_horizon_validation(self):
+        with pytest.raises(ConfigurationError):
+            QoSAuditor(MetricsRegistry(), horizon=0.0)
+
+    def test_infeasible_event_fires_on_entry_only(self):
+        a, _, ev = make_auditor()
+        a.on_tuning_record("n", record(1, Satisfaction.GROW, TuningStatus.TUNING))
+        a.on_tuning_record(
+            "n", record(2, Satisfaction.INFEASIBLE, TuningStatus.INFEASIBLE)
+        )
+        a.on_tuning_record(
+            "n", record(3, Satisfaction.INFEASIBLE, TuningStatus.INFEASIBLE)
+        )
+        events = ev.recent(kind="sfd_infeasible")
+        assert len(events) == 1
+        assert events[0]["node"] == "n" and events[0]["slot"] == 2
+
+    def test_report_includes_verdict_and_tuning_status(self):
+        a, _, _ = make_auditor()
+        a.watch("n", requirements=REQ)
+        a.on_transition("n", NodeStatus.UNKNOWN, NodeStatus.ACTIVE, 0.0)
+        a.on_tuning_record("n", record(4, Satisfaction.SHRINK))
+        rep = a.report("n", 10.0)
+        assert rep["met"] is True and rep["violated"] == []
+        assert rep["tuning_status"] == TuningStatus.TUNING.value
+        assert a.nodes() == ("n",)
+        assert a.report("ghost", 10.0) == {}
+
+
+class TestInstrumentsAudit:
+    def test_transition_hooks_feed_the_auditor(self):
+        ins = Instruments()
+        ins.audit.watch("a", requirements=REQ)
+        ins.record_heartbeat("a", 0, None, 9.5)
+        ins.on_transition("a", NodeStatus.ACTIVE, NodeStatus.SUSPECT, 10.0)
+        ins.on_transition("a", NodeStatus.SUSPECT, NodeStatus.ACTIVE, 11.0)
+        ins.audit.collect(20.0)
+        snap = ins.registry.snapshot(run_collectors=False)
+        # The auditor received last_arrival from the heartbeat hot path.
+        assert snap.get("repro_qos_td_seconds", "a") == pytest.approx(0.5)
+        assert snap.get("repro_qos_mr", "a") == pytest.approx(1 / 10)
+
+    def test_restart_hook_discards_pending_episode(self):
+        ins = Instruments()
+        ins.audit.watch("a", requirements=REQ)
+        ins.on_transition("a", NodeStatus.UNKNOWN, NodeStatus.ACTIVE, 0.0)
+        ins.on_transition("a", NodeStatus.ACTIVE, NodeStatus.SUSPECT, 5.0)
+        ins.on_restart("a", 1)
+        ins.on_transition("a", NodeStatus.SUSPECT, NodeStatus.UNKNOWN, 5.1)
+        ins.audit.collect(10.0)
+        snap = ins.registry.snapshot(run_collectors=False)
+        assert snap.get("repro_qos_mr", "a") == 0.0
+
+    def test_tuning_record_status_reaches_every_consumer(self):
+        ins = Instruments()
+        build = ins.wrap_detector_factory(
+            lambda nid: SFD(REQ, window_size=4, slot=SlotConfig(heartbeats=5))
+        )
+        det = build("n1")
+        for i in range(40):
+            det.observe(i, i * 0.1)
+        slots = ins.events.recent(kind="sfd_slot")
+        assert slots and all("status" in e for e in slots)
+        assert all(
+            e["status"] in {s.value for s in TuningStatus} for e in slots
+        )
+        # The audit plane saw the same records through the shared intake.
+        assert ins.audit.report("n1", 10.0)["tuning_status"] == slots[-1]["status"]
+
+    def test_null_instruments_swallow_the_audit_plane(self):
+        ins = Instruments.null()
+        ins.on_transition("a", NodeStatus.ACTIVE, NodeStatus.SUSPECT, 1.0)
+        ins.on_restart("a", 1)
+        ins.audit.collect(2.0)
+        assert ins.registry.families() == []
+
+
+class TestTraceDropped:
+    def test_event_log_accounts_ring_evictions(self):
+        log = EventLog(capacity=2)
+        for i in range(5):
+            log.emit("hb", seq=i)
+        assert log.dropped == 3
+        assert log.emitted == 5
+        assert [e["seq"] for e in log.recent()] == [3, 4]
+
+    def test_dropped_counter_synced_at_scrape_time(self):
+        ins = Instruments(events=EventLog(2))
+        for i in range(5):
+            ins.events.emit("hb", seq=i)
+        snap = ins.registry.snapshot()  # collectors run: sync happens here
+        assert snap.get("repro_trace_dropped_total") == 3.0
+        ins.events.emit("hb", seq=5)
+        snap = ins.registry.snapshot()
+        assert snap.get("repro_trace_dropped_total") == 4.0  # delta, not reset
+
+
+class TestConsoleRendering:
+    def make_metrics(self):
+        r = MetricsRegistry()
+        r.gauge("repro_node_status", "s", labels=("node",)).labels("a").set(1)
+        r.gauge("repro_slo_met", "s", labels=("node",)).labels("a").set(0)
+        r.gauge("repro_qos_qap", "s", labels=("node",)).labels("a").set(0.97)
+        r.gauge("repro_qos_mr", "s", labels=("node",)).labels("a").set(0.2)
+        r.gauge("repro_qos_td_seconds", "s", labels=("node",)).labels("a").set(0.4)
+        r.counter(
+            "repro_slo_breaches_total", "s", labels=("node", "bound")
+        ).labels("a", "mistake_rate").inc(2)
+        fam = r.gauge(
+            "repro_sfd_target_mistake_rate", "s", labels=("node",)
+        )
+        fam.labels("a").set(0.05)
+        return parse_prometheus(render_prometheus(r))
+
+    def test_render_top_has_slo_column(self):
+        pm = self.make_metrics()
+        frame = render_top(pm)
+        assert "SLO" in frame.splitlines()[3]
+        row = next(line for line in frame.splitlines() if line.startswith("a "))
+        assert "VIOL" in row
+
+    def test_render_audit_table_and_trajectory(self):
+        pm = self.make_metrics()
+        slots = [
+            {
+                "kind": "sfd_slot",
+                "node": "a",
+                "slot": k,
+                "sm_before": 0.1 * k,
+                "sm_after": 0.1 * (k + 1),
+                "decision": d,
+                "status": "tuning",
+            }
+            for k, d in enumerate(["grow", "grow", "shrink", "stable"], start=1)
+        ]
+        events = slots + [
+            {"kind": "slo_breach", "node": "a", "violated": "mistake_rate"},
+            {"kind": "slo_recovered", "node": "a"},
+            {"kind": "sfd_infeasible", "node": "a", "slot": 3},
+        ]
+        frame = render_audit(pm, events, trail=2)
+        assert "1 node(s) audited" in frame
+        assert "sat[++-=]" in frame  # the Sat_k decision history
+        assert "SM 0.100 → 0.500" in frame
+        assert "0.200/0.050 !" in frame  # measured MR vs target, violated
+        assert "breach" in frame and "recovered" in frame and "infeasible" in frame
+        row = next(line for line in frame.splitlines() if line.startswith("a "))
+        assert "VIOL" in row and " 2 " in row  # breach count column
+
+    def test_render_audit_empty(self):
+        pm = parse_prometheus(render_prometheus(MetricsRegistry()))
+        assert "(no nodes audited yet)" in render_audit(pm)
+
+
+class TestExpositionRoundTrip:
+    def build(self):
+        r = MetricsRegistry()
+        hist = r.histogram(
+            "lat_seconds", "latency", labels=("node",), buckets=(0.1, 1.0)
+        )
+        for v in (0.05, 0.5, 5.0):
+            hist.labels("a").observe(v)
+        hist.labels("b").observe(0.5)
+        fam = r.counter("hb_total", "heartbeats", labels=("node", "kind"))
+        fam.labels("a", "udp").inc(3)
+        fam.labels("b", "udp").inc(1)
+        r.gauge("nan_gauge", "unmeasured").set(float("nan"))
+        return r
+
+    def test_labeled_histogram_round_trip(self):
+        r = self.build()
+        text = render_prometheus(r)
+        pm = parse_prometheus(text)
+        assert pm.value("lat_seconds_bucket", node="a", le="0.1") == 1.0
+        assert pm.value("lat_seconds_bucket", node="a", le="1") == 2.0
+        assert pm.value("lat_seconds_bucket", node="a", le="+Inf") == 3.0
+        assert pm.value("lat_seconds_count", node="a") == 3.0
+        assert pm.value("lat_seconds_sum", node="a") == pytest.approx(5.55)
+        assert pm.value("lat_seconds_count", node="b") == 1.0
+        assert pm.value("hb_total", node="a", kind="udp") == 3.0
+
+    def test_render_is_deterministic_and_parse_stable(self):
+        # render → parse → render: a second render of the same registry is
+        # byte-identical, and parsing both yields the same sample dict —
+        # the exposure layer neither reorders nor loses series.
+        text_a = render_prometheus(self.build())
+        text_b = render_prometheus(self.build())
+        assert text_a == text_b
+        dict_a = parse_prometheus(text_a).to_dict()
+        dict_b = parse_prometheus(text_b).to_dict()
+        assert dict_a == dict_b
+        assert any("lat_seconds" in k for k in dict_a)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+class TestRunProgress:
+    def test_accounting_and_derived_rates(self, tmp_path):
+        clock = FakeClock()
+        p = RunProgress(
+            tmp_path / "RUN_PROGRESS.json",
+            clock=clock,
+            wall=lambda: 1000.0,
+            interval=0.0,
+        )
+        p.begin(total=10, cache_hits=4, shard=(1, 3))
+        clock.t = 2.0
+        for _ in range(3):
+            p.job_done()
+        p.job_retried("timeout", "job 5")
+        p.job_quarantined("error", "job 6")
+        assert p.done == 7
+        assert p.remaining == 10 - 7 - 1
+        assert p.jobs_per_s == pytest.approx(1.5)
+        assert p.eta_s == pytest.approx(2 / 1.5)
+        snap = read_progress(tmp_path / "RUN_PROGRESS.json")
+        assert snap["state"] == "running" and snap["format"] == 1
+        assert snap["done"] == 7 and snap["shard"] == [1, 3]
+        assert snap["retries"] == 1 and snap["quarantined"] == 1
+        line = p.line()
+        assert "7/10 jobs" in line and "4 cached" in line
+        assert "1 retried" in line and "1 quarantined" in line and "ETA" in line
+
+    def test_finish_reconciles_against_plan_result(self, tmp_path):
+        p = RunProgress(tmp_path / "p.json", clock=FakeClock(), interval=0.0)
+        p.begin(total=6, cache_hits=2)
+        # No on_result stream arrived (old-style executor): finish must
+        # still land on the authoritative counts.
+        p.finish("completed", done=5, quarantined=1)
+        snap = read_progress(tmp_path / "p.json")
+        assert snap["state"] == "completed"
+        assert snap["done"] == 5 and snap["executed"] == 3
+        assert snap["quarantined"] == 1 and snap["eta_s"] is None
+
+    def test_writes_are_throttled_but_finish_forces(self, tmp_path):
+        clock = FakeClock()
+        path = tmp_path / "p.json"
+        p = RunProgress(path, clock=clock, interval=10.0)
+        p.begin(total=2)  # forced write
+        first = path.read_text()
+        p.job_done()  # inside the throttle window: no write
+        assert path.read_text() == first
+        p.finish("completed")
+        assert json.loads(path.read_text())["state"] == "completed"
+        assert not list(tmp_path.glob("*.tmp"))  # atomic replace cleaned up
+
+    def test_on_update_fires_unthrottled(self):
+        seen = []
+        p = RunProgress(None, interval=100.0, on_update=lambda pr: seen.append(pr.done))
+        p.begin(total=3)
+        p.job_done()
+        p.job_done()
+        assert seen == [0, 1, 2]
+
+    def test_read_progress_tolerates_missing_and_torn(self, tmp_path):
+        assert read_progress(tmp_path / "absent.json") is None
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"state": "runni')
+        assert read_progress(torn) is None
+
+    def test_progress_instruments_tee(self):
+        p = RunProgress(None)
+        p.begin(total=4)
+        inner = Instruments()
+        tee = ProgressInstruments(p, inner)
+        tee.on_job_retry("timeout", "job 1")
+        tee.on_job_quarantined("error", "job 2")
+        assert p.retries == 1 and p.quarantined == 1
+        snap = inner.registry.snapshot(run_collectors=False)
+        assert snap.get("repro_exp_retries_total", "timeout") == 1.0
+        assert snap.get("repro_exp_quarantined_total", "error") == 1.0
+        # Everything else passes through to the real bundle untouched.
+        tee.record_heartbeat("a", 0, None, 1.0)
+        assert tee.events is inner.events
+        # Without a bundle the tee defaults to a harmless null bundle.
+        bare = ProgressInstruments(RunProgress(None))
+        bare.on_job_retry("error", "job 0")
+        bare.record_heartbeat("a", 0, None, 1.0)
+
+
+class TestPlanProgress:
+    def test_run_streams_progress_and_counts_cache_hits(
+        self, small_view, tmp_path
+    ):
+        plan = tiny_plan(small_view)
+        cache = SweepCache(tmp_path / "cache")
+        p1 = RunProgress(None, interval=0.0)
+        plan.run(SerialExecutor(), cache=cache, progress=p1)
+        assert p1.state == "completed"
+        assert p1.total == 6 and p1.executed == 6 and p1.cache_hits == 0
+
+        p2 = RunProgress(None, interval=0.0)
+        plan.run(
+            SerialExecutor(), cache=SweepCache(tmp_path / "cache"), progress=p2
+        )
+        assert p2.state == "completed"
+        assert p2.done == 6 and p2.cache_hits == 6 and p2.executed == 0
+
+    def test_failed_run_seals_the_heartbeat(self, small_view, tmp_path):
+        plan = tiny_plan(small_view)
+        sched = ChaosSchedule({3: JobFault("error", fail_attempts=None)})
+        p = RunProgress(tmp_path / "p.json", interval=0.0)
+        with pytest.raises(JobFailedError):
+            plan.run(FlakyExecutor(sched), progress=p)
+        assert p.state == "failed"
+        assert read_progress(tmp_path / "p.json")["state"] == "failed"
+
+    def test_quarantine_counts_stream_into_progress(self, small_view):
+        plan = tiny_plan(small_view)
+        sched = ChaosSchedule(
+            {
+                1: JobFault("error", fail_attempts=1),
+                4: JobFault("error", fail_attempts=None),
+            }
+        )
+        p = RunProgress(None, interval=0.0)
+        result = plan.run(
+            FlakyExecutor(sched),
+            policy=FailurePolicy(max_retries=1, mode="continue", **FAST),
+            progress=p,
+        )
+        assert p.state == "completed"
+        assert p.retries == len(result.failures) + 1  # cured + quarantined
+        assert p.quarantined == len(result.failures) == 1
+        assert p.done == 5 and p.remaining == 0
+
+
+RUN_CONFIG = """
+[run]
+jobs = 1
+seed = 3
+output = "curves"
+
+[[trace]]
+name = "t"
+profile = "WAN-1"
+n = 2000
+
+[[sweep]]
+detector = "chen"
+grid = [0.05, 0.1, 0.2, 0.35, 0.5]
+params = { window = 100 }
+"""
+
+
+class TestRunConfigAcceptance:
+    def test_chaos_storm_progress_matches_archive(self, tmp_path, monkeypatch):
+        """Acceptance: a chaos-storm ``repro run`` leaves a RUN_PROGRESS.json
+        whose final state agrees with the archive's manifest counts."""
+        (tmp_path / "experiments.toml").write_text(RUN_CONFIG)
+        sched = ChaosSchedule(
+            {
+                1: JobFault("error", fail_attempts=1),  # cured by retry
+                3: JobFault("error", fail_attempts=None),  # quarantined
+            }
+        )
+        monkeypatch.setattr(
+            "repro.exp.config.SerialExecutor",
+            lambda policy=None: FlakyExecutor(sched, policy=policy),
+        )
+        config = load_config(tmp_path / "experiments.toml")
+        outcome = run_config(
+            config,
+            policy=FailurePolicy(max_retries=1, mode="continue", **FAST),
+        )
+        assert len(outcome.failures) == 1
+
+        progress = read_progress(tmp_path / "curves" / "RUN_PROGRESS.json")
+        manifest = json.loads((tmp_path / "curves" / "manifest.json").read_text())
+        assert progress["state"] == "completed"
+        assert progress["quarantined"] == manifest["quarantined"] == 1
+        assert progress["total"] == 5
+        assert progress["done"] == 4  # every job but the quarantined one
+        assert progress["retries"] == 2
+        assert progress["eta_s"] is None and progress["jobs_per_s"] is not None
+
+    def test_resumed_run_reports_cache_hits(self, tmp_path, monkeypatch):
+        (tmp_path / "experiments.toml").write_text(RUN_CONFIG)
+        config = load_config(tmp_path / "experiments.toml")
+        run_config(config)
+        run_config(load_config(tmp_path / "experiments.toml"), resume=True)
+        progress = read_progress(tmp_path / "curves" / "RUN_PROGRESS.json")
+        assert progress["state"] == "completed"
+        assert progress["cache_hits"] == 5 and progress["executed"] == 0
+
+
+class TestRunsEndpoint:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def make_heartbeat(self, path):
+        p = RunProgress(path, interval=0.0)
+        p.begin(total=3)
+        p.job_done()
+        p.finish("completed", done=3)
+
+    def test_serves_single_file_and_directory(self, tmp_path):
+        self.make_heartbeat(tmp_path / "RUN_PROGRESS.json")
+        shard = tmp_path / "shard-0-of-2"
+        shard.mkdir()
+        self.make_heartbeat(shard / "RUN_PROGRESS.json")
+
+        async def main():
+            server = MetricsServer(MetricsRegistry(), runs=tmp_path)
+            await server.start()
+            base = server.url.rsplit("/metrics", 1)[0]
+            status, body = await http_get(base + "/runs")
+            await server.stop()
+            return status, json.loads(body)
+
+        status, payload = self.run(main())
+        assert status == 200
+        assert len(payload["runs"]) == 2
+        assert all(r["state"] == "completed" for r in payload["runs"])
+        assert {r["path"] for r in payload["runs"]} == {
+            str(tmp_path / "RUN_PROGRESS.json"),
+            str(shard / "RUN_PROGRESS.json"),
+        }
+
+    def test_serves_live_progress_via_callable(self):
+        p = RunProgress(None)
+        p.begin(total=2)
+
+        async def main():
+            server = MetricsServer(MetricsRegistry(), runs=lambda: p.snapshot())
+            await server.start()
+            base = server.url.rsplit("/metrics", 1)[0]
+            status, body = await http_get(base + "/runs")
+            await server.stop()
+            return status, json.loads(body)
+
+        status, payload = self.run(main())
+        assert status == 200
+        assert payload["runs"][0]["state"] == "running"
+        assert payload["runs"][0]["total"] == 2
+
+    def test_404_without_a_runs_source(self):
+        async def main():
+            server = MetricsServer(MetricsRegistry())
+            await server.start()
+            base = server.url.rsplit("/metrics", 1)[0]
+            status, _ = await http_get(base + "/runs")
+            await server.stop()
+            return status
+
+        assert self.run(main()) == 404
+
+
+class TestAuditCLI:
+    def test_demo_renders_trajectory_with_sat_branches(self, capsys):
+        from repro.cli import main
+
+        assert main(["audit", "--demo", "--trail", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "slot(s)" in out and "SM " in out
+        sat = out[out.index("sat[") + 4 : out.index("]", out.index("sat["))]
+        assert sat  # non-empty decision history…
+        assert set(sat) <= {"=", "+", "-", "x", "?"}
+        assert set(sat) & {"+", "-", "x"}  # …with real adjustment branches
+
+    def test_url_mode_scrapes_metrics_and_events(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        r = MetricsRegistry()
+        r.gauge("repro_slo_met", "s", labels=("node",)).labels("a").set(1)
+        ev = EventLog()
+        ev.emit("sfd_slot", node="a", slot=1, sm_before=0.1, sm_after=0.2,
+                decision="grow", status="tuning")
+        text = render_prometheus(r)
+        lines = ev.to_json_lines()
+
+        async def fake_get(url, timeout=5.0):
+            if url.endswith("/metrics"):
+                return 200, text
+            assert url.endswith("/events")
+            return 200, lines
+
+        monkeypatch.setattr("repro.obs.exposition.http_get", fake_get)
+        monkeypatch.setattr("repro.obs.http_get", fake_get)
+        assert main(["audit", "localhost:9000"]) == 0
+        out = capsys.readouterr().out
+        assert "1 node(s) audited" in out and "sat[+]" in out
+
+    def test_rejects_ambiguous_invocation(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["audit"])
+        with pytest.raises(SystemExit):
+            main(["audit", "localhost:9000", "--demo"])
