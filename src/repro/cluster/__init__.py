@@ -14,6 +14,7 @@ PlanetLab-style status scan built on the DES.
 """
 
 from repro.cluster.membership import MembershipTable, NodeState, NodeStatus
+from repro.cluster.sharded import DeadlineWheel, ShardedMembershipTable
 from repro.cluster.multimonitor import MonitorGroup, QuorumVerdict
 from repro.cluster.scan import ClusterScan, NodeSpec, ScanReport
 from repro.cluster.hierarchy import GlobalMonitor, SiteDigest, SiteMonitor
@@ -22,6 +23,8 @@ __all__ = [
     "MembershipTable",
     "NodeState",
     "NodeStatus",
+    "DeadlineWheel",
+    "ShardedMembershipTable",
     "MonitorGroup",
     "QuorumVerdict",
     "ClusterScan",

@@ -54,6 +54,11 @@ class NodeState:
     #: the memory that lets the table emit TRUSTED↔SUSPECTED transition
     #: edges to an observer instead of only point-in-time snapshots.
     last_status: NodeStatus = NodeStatus.UNKNOWN
+    #: Table-wide transition counter value at this node's last status
+    #: change.  Consumers (quorum aggregation, dashboards) cache derived
+    #: verdicts keyed by this epoch and recompute only when it moves,
+    #: instead of re-reading every detector on every query.
+    status_epoch: int = 0
     #: Live QoS accounting (wrong suspicions + TD samples), started when
     #: the detector warms up; ``None`` when the table was built with
     #: ``account_qos=False``.
@@ -158,7 +163,33 @@ class MembershipTable:
         self._on_transition = on_transition
         self._on_restart = on_restart
         self._on_stale = on_stale
+        self._transition_listeners: list[
+            Callable[[str, NodeStatus, NodeStatus, float], None]
+        ] = []
+        #: True when anyone wants transition edges (constructor observer or
+        #: subscribed listener) — gates classification-on-arrival.
+        self._observes = on_transition is not None
+        self._epoch = 0
         self._nodes: dict[str, NodeState] = {}
+
+    def add_transition_listener(
+        self, listener: Callable[[str, NodeStatus, NodeStatus, float], None]
+    ) -> None:
+        """Subscribe an additional ``(node_id, old, new, now)`` observer.
+
+        Unlike the constructor's ``on_transition`` (which stays the primary
+        hook, e.g. the instruments bundle), any number of listeners can be
+        attached after construction — quorum aggregators use this to
+        invalidate their per-node verdict caches on exactly the nodes that
+        changed.
+        """
+        self._transition_listeners.append(listener)
+        self._observes = True
+
+    @property
+    def epoch(self) -> int:
+        """Table-wide status-transition counter (see ``status_epoch``)."""
+        return self._epoch
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -223,11 +254,28 @@ class MembershipTable:
             origin = send_time if send_time is not None else arrival
             assert state.accounting is not None
             state.accounting.add_detection_sample(fp - origin)
-        if self._on_transition is not None:
+        if self._observes:
             # Classify at arrival so recovery edges (SUSPECT -> ACTIVE)
             # surface immediately; only priced when someone listens.
             self._classify(state, arrival)
         return state
+
+    def heartbeat_batch(
+        self, batch: list[tuple[str, int, float, float | None]]
+    ) -> int:
+        """Feed a drained listener batch of ``(node_id, seq, arrival,
+        send_time)`` tuples; returns the number of accepted (non-stale)
+        heartbeats.  Semantically one :meth:`heartbeat` per tuple — the
+        batched form exists so ingest layers can hand over a whole socket
+        drain in one call."""
+        accepted = 0
+        hb = self.heartbeat
+        for node_id, seq, arrival, send_time in batch:
+            before = self._nodes.get(node_id)
+            count = before.heartbeats if before is not None else 0
+            if hb(node_id, seq, arrival, send_time).heartbeats != count:
+                accepted += 1
+        return accepted
 
     def _mark_restarted(self, state: NodeState) -> None:
         """Re-adopt a node whose sequence counter regressed past the
@@ -263,8 +311,12 @@ class MembershipTable:
         """Compute a node's status, surfacing the edge to the observer."""
         status = state.status(now)
         if status is not state.last_status:
+            self._epoch += 1
+            state.status_epoch = self._epoch
             if self._on_transition is not None:
                 self._on_transition(state.node_id, state.last_status, status, now)
+            for listener in self._transition_listeners:
+                listener(state.node_id, state.last_status, status, now)
             state.last_status = status
         return status
 

@@ -50,6 +50,16 @@ class QuorumVerdict:
 class MonitorGroup:
     """A set of named monitors voting on node liveness.
 
+    When every member table supports ``advance`` (the sharded membership
+    table), verdicts are served from a per-node cache keyed by the
+    members' status epochs: one O(changed) ``advance`` per query brings
+    the snapshots current, the epoch key tells us whether any member's
+    opinion moved, and only moved nodes are re-aggregated.  Transition
+    callbacks feed a dirty set so :meth:`crashed_nodes` re-judges exactly
+    the nodes that changed instead of rescanning monitors × nodes.
+    Groups containing a flat table fall back to the uncached per-node
+    classification path.
+
     Parameters
     ----------
     quorum:
@@ -63,11 +73,32 @@ class MonitorGroup:
             raise ConfigurationError(f"quorum must be >= 1, got {quorum!r}")
         self._quorum = quorum
         self._monitors: dict[str, MembershipTable] = {}
+        #: node_id -> (epoch key, verdict); the key is the per-monitor
+        #: (present, status_epoch) tuple, so any member transition or
+        #: membership change of that node misses the cache.
+        self._verdicts: dict[str, tuple[tuple, QuorumVerdict]] = {}
+        #: Nodes whose status moved since crashed_nodes() last judged them.
+        self._dirty: set[str] = set()
+        #: Incrementally maintained crash roster (cached mode only).
+        self._crashed: set[str] = set()
+        #: Per-table node counts at the last sync; a shape change means
+        #: registrations/expiries happened without transitions, which the
+        #: dirty set cannot see — rebuild the roster from scratch.
+        self._shape: tuple[int, ...] | None = None
+        self._roster_stale = True
 
     def add_monitor(self, name: str, table: MembershipTable) -> None:
         if name in self._monitors:
             raise ConfigurationError(f"monitor {name!r} already in the group")
         self._monitors[name] = table
+        table.add_transition_listener(self._on_member_transition)
+        self._verdicts.clear()
+        self._roster_stale = True
+
+    def _on_member_transition(
+        self, node_id: str, old: NodeStatus, new: NodeStatus, at: float
+    ) -> None:
+        self._dirty.add(node_id)
 
     @property
     def monitors(self) -> dict[str, MembershipTable]:
@@ -78,12 +109,24 @@ class MonitorGroup:
             return self._quorum
         return observing // 2 + 1  # strict majority of opinions
 
-    def verdict(self, node_id: str, now: float) -> QuorumVerdict:
-        """Aggregate the group's opinion about ``node_id`` at ``now``."""
-        statuses: dict[str, NodeStatus] = {}
-        for name, table in self._monitors.items():
-            if node_id in table:
-                statuses[name] = table.node(node_id).status(now)
+    def _sync(self, now: float) -> bool:
+        """Bring every member snapshot current; True when the epoch cache
+        is usable (all members maintain snapshots via ``advance``)."""
+        tables = self._monitors.values()
+        if not all(hasattr(t, "advance") for t in tables):
+            return False
+        for t in tables:
+            t.advance(now)
+        shape = tuple(len(t) for t in tables)
+        if shape != self._shape:
+            self._shape = shape
+            self._roster_stale = True
+            self._verdicts.clear()  # drop entries for expired nodes
+        return True
+
+    def _aggregate(
+        self, node_id: str, statuses: dict[str, NodeStatus]
+    ) -> QuorumVerdict:
         observing = sum(1 for s in statuses.values() if s is not NodeStatus.UNKNOWN)
         suspecting = sum(1 for s in statuses.values() if s in _SUSPECTING)
         crashed = observing > 0 and suspecting >= self._required(observing)
@@ -95,6 +138,36 @@ class MonitorGroup:
             statuses=statuses,
         )
 
+    def _cached_verdict(self, node_id: str) -> QuorumVerdict:
+        """Epoch-keyed aggregation over already-advanced snapshots — no
+        detector reads at all."""
+        key_parts = []
+        statuses: dict[str, NodeStatus] = {}
+        for name, table in self._monitors.items():
+            state = table._nodes.get(node_id)
+            if state is None:
+                key_parts.append(-1)
+            else:
+                key_parts.append(state.status_epoch)
+                statuses[name] = state.last_status
+        key = tuple(key_parts)
+        hit = self._verdicts.get(node_id)
+        if hit is not None and hit[0] == key:
+            return hit[1]
+        verdict = self._aggregate(node_id, statuses)
+        self._verdicts[node_id] = (key, verdict)
+        return verdict
+
+    def verdict(self, node_id: str, now: float) -> QuorumVerdict:
+        """Aggregate the group's opinion about ``node_id`` at ``now``."""
+        if self._sync(now):
+            return self._cached_verdict(node_id)
+        statuses: dict[str, NodeStatus] = {}
+        for name, table in self._monitors.items():
+            if node_id in table:
+                statuses[name] = table.node(node_id).status(now)
+        return self._aggregate(node_id, statuses)
+
     def all_nodes(self) -> set[str]:
         """Union of node ids across all member monitors."""
         ids: set[str] = set()
@@ -103,7 +176,29 @@ class MonitorGroup:
         return ids
 
     def crashed_nodes(self, now: float) -> list[str]:
-        """Nodes the group currently declares crashed (sorted)."""
-        return sorted(
-            nid for nid in self.all_nodes() if self.verdict(nid, now).crashed
-        )
+        """Nodes the group currently declares crashed (sorted).
+
+        In cached mode the roster is maintained incrementally: only nodes
+        dirtied by member transitions since the previous call (or all
+        nodes, after a membership change) are re-judged.
+        """
+        if not self._sync(now):
+            return sorted(
+                nid for nid in self.all_nodes() if self.verdict(nid, now).crashed
+            )
+        if self._roster_stale:
+            # First cached query, or members registered/expired nodes:
+            # rebuild the roster, then go incremental.
+            self._roster_stale = False
+            todo = self.all_nodes()
+            self._crashed.clear()
+        else:
+            todo = self._dirty
+        self._dirty = set()
+        crashed = self._crashed
+        for nid in todo:
+            if self._cached_verdict(nid).crashed:
+                crashed.add(nid)
+            else:
+                crashed.discard(nid)
+        return sorted(crashed)

@@ -18,7 +18,8 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.detectors.base import FailureDetector
-from repro.cluster.membership import MembershipTable, NodeStatus
+from repro.cluster.membership import NodeStatus
+from repro.cluster.sharded import ShardedMembershipTable
 from repro.net.delay import LogNormalDelay
 from repro.net.loss import BernoulliLoss, NoLoss
 from repro.sim.crash import CrashPlan
@@ -128,7 +129,7 @@ class ClusterScan:
         self.nodes = list(nodes)
         self.seed = seed
         self.sim = Simulator()
-        self.table = MembershipTable(detector_factory, auto_register=True)
+        self.table = ShardedMembershipTable(detector_factory, auto_register=True)
         root = np.random.SeedSequence(seed)
         for spec, child in zip(self.nodes, root.spawn(len(self.nodes))):
             rng = np.random.default_rng(child)
@@ -166,12 +167,12 @@ class ClusterScan:
             raise ConfigurationError(f"horizon must be > 0, got {horizon!r}")
         self.sim.run(until=horizon)
         now = self.sim.now
+        # One O(changed) snapshot query instead of a per-spec classify:
+        # nodes whose heartbeats never arrived are absent from the table
+        # and report UNKNOWN.
+        snapshot = self.table.statuses(now)
         statuses = {
-            spec.node_id: (
-                self.table.node(spec.node_id).status(now)
-                if spec.node_id in self.table
-                else NodeStatus.UNKNOWN
-            )
+            spec.node_id: snapshot.get(spec.node_id, NodeStatus.UNKNOWN)
             for spec in self.nodes
         }
         truth = {n.node_id for n in self.nodes if n.crash_time < horizon}

@@ -1,0 +1,588 @@
+"""Sharded membership: O(changed) status evaluation via a deadline wheel.
+
+The flat :class:`~repro.cluster.membership.MembershipTable` re-classifies
+every node on every ``statuses()`` / ``summary()`` / ``expire()`` call —
+fine for the paper's per-link experiments, hopeless for the ROADMAP's
+10k-node monitoring plane, where queries arrive continuously and almost
+no node changes status between them.  Dobre et al.'s large-scale
+architecture (PAPERS.md) motivates the shape: local detection units whose
+verdicts aggregate upward, which requires the *evaluation* cost to track
+the number of transitions, not the number of nodes.
+
+:class:`ShardedMembershipTable` keeps the flat table's behaviour
+bit-for-bit (same reorder window, restart adoption, QoS mistake
+accounting, observer hooks — proven by the parity suite in
+``tests/test_sharded.py``) but inverts the control flow:
+
+* Every accepted heartbeat (re)schedules the node's **next status
+  boundary** on a per-shard deadline wheel — the absolute time at which
+  the detector's suspicion level first reaches the next rung of the
+  classification ladder, obtained from
+  :meth:`~repro.detectors.base.FailureDetector.suspicion_eta`.
+* A single :meth:`advance` pops only the *due* wheel buckets, re-checks
+  exactly those nodes with the same ``state.status(now)`` the flat table
+  uses, and emits transitions through the same ``_classify`` choke point.
+* ``statuses()`` / ``summary()`` / ``select()`` then read a maintained
+  snapshot (insertion-ordered status dict, per-status counts, per-status
+  index sets) instead of touching any detector.
+* ``expire()`` pops a per-shard lazy min-heap keyed by last arrival
+  instead of scanning the table.
+
+Correctness of the wheel does not depend on ``suspicion_eta`` being
+exact, only on it never being *later* than the true crossing: scheduled
+nodes are re-classified with the canonical ladder at pop time, so an
+early deadline merely costs one extra re-check.  Detectors that cannot
+invert their suspicion curve return ``-inf`` and fall back to a per-shard
+"always re-check" set, degrading that shard to flat-table cost without
+affecting the others.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable
+from zlib import crc32
+
+from repro.errors import (
+    ConfigurationError,
+    NotWarmedUpError,
+    UnknownNodeError,
+)
+from repro.detectors.base import FailureDetector, TimeoutFailureDetector
+from repro.cluster.membership import MembershipTable, NodeState, NodeStatus
+
+__all__ = ["DeadlineWheel", "ShardedMembershipTable"]
+
+#: Statuses that are terminal until the next heartbeat: no future time can
+#: change them, so they carry no wheel deadline.
+_TERMINAL = frozenset({NodeStatus.DEAD})
+
+#: Detector classes whose classification outputs are the *unmodified*
+#: linear-overdue ones of :class:`TimeoutFailureDetector` (suspicion is
+#: ``max(0, now − FP)``, binary threshold 0, boundary = FP cached by
+#: ``observe``).  For them the batch fast path can classify and re-arm
+#: from the cached freshness point alone; any override of those methods
+#: drops the class back to the generic path.
+_LINEAR_TIMEOUT: dict[type, bool] = {}
+
+
+def _is_linear_timeout(cls: type) -> bool:
+    return (
+        issubclass(cls, TimeoutFailureDetector)
+        and cls.observe is TimeoutFailureDetector.observe
+        and cls.suspicion is TimeoutFailureDetector.suspicion
+        and cls.suspicion_eta is TimeoutFailureDetector.suspicion_eta
+        and cls.binary_threshold is FailureDetector.binary_threshold
+    )
+
+
+class DeadlineWheel:
+    """Hashed timing wheel over absolute deadlines.
+
+    Buckets are ``granularity``-wide half-open intervals addressed by
+    integer key ``floor(due / granularity)``; a min-heap over bucket keys
+    yields due buckets in order.  A node lives in at most one bucket
+    (:meth:`schedule` moves it), so :meth:`due` pops each node at most
+    once per call and the heap never accumulates stale per-node entries.
+
+    Scheduling a node into a bucket whose start has already passed is
+    legal — it simply pops on the *next* :meth:`due` call, which is what
+    makes the conservative-early re-check loop terminate.
+    """
+
+    __slots__ = ("granularity", "_buckets", "_heap", "_pos")
+
+    def __init__(self, granularity: float = 0.05):
+        if not (granularity > 0.0) or not math.isfinite(granularity):
+            raise ConfigurationError(
+                f"granularity must be a positive finite number, "
+                f"got {granularity!r}"
+            )
+        self.granularity = float(granularity)
+        self._buckets: dict[int, set[str]] = {}
+        self._heap: list[int] = []
+        self._pos: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._pos)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._pos
+
+    def schedule(self, node_id: str, due: float) -> None:
+        """(Re)place ``node_id`` in the bucket covering ``due``.
+
+        ``due == inf`` cancels the entry (the status is unreachable
+        without a heartbeat, which reschedules on arrival anyway).
+        """
+        if due == math.inf:
+            self.cancel(node_id)
+            return
+        key = math.floor(due / self.granularity)
+        old = self._pos.get(node_id)
+        if old == key:
+            return
+        if old is not None:
+            self._buckets[old].discard(node_id)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = set()
+            heapq.heappush(self._heap, key)
+        bucket.add(node_id)
+        self._pos[node_id] = key
+
+    def cancel(self, node_id: str) -> None:
+        key = self._pos.pop(node_id, None)
+        if key is not None:
+            self._buckets[key].discard(node_id)
+
+    def due(self, now: float) -> list[str]:
+        """Pop every node in a bucket whose start is at or before ``now``.
+
+        Popped nodes are unscheduled; callers re-:meth:`schedule` the
+        ones that still have a future boundary.  Because a bucket's start
+        is never later than any deadline it holds, a node is always
+        popped by the first call with ``now`` past its true deadline.
+        """
+        limit = math.floor(now / self.granularity)
+        out: list[str] = []
+        heap = self._heap
+        while heap and heap[0] <= limit:
+            key = heapq.heappop(heap)
+            bucket = self._buckets.pop(key, None)
+            if not bucket:
+                continue  # emptied by moves, or a duplicate heap key
+            pos = self._pos
+            for nid in bucket:
+                if pos.get(nid) == key:
+                    del pos[nid]
+                    out.append(nid)
+        return out
+
+
+class _Shard:
+    """Per-shard scheduling state: deadline wheel + lazy expiry heap."""
+
+    __slots__ = ("wheel", "always", "expiry", "expiry_la")
+
+    def __init__(self, granularity: float):
+        self.wheel = DeadlineWheel(granularity)
+        #: Nodes whose detector cannot invert its suspicion curve
+        #: (``suspicion_eta`` is ``-inf``): re-checked on every advance.
+        self.always: set[str] = set()
+        #: Min-heap of ``(last_arrival_at_push, node_id)``; at most one
+        #: live entry per node (``expiry_la`` holds its key), refreshed
+        #: lazily when popped with an out-of-date arrival.
+        self.expiry: list[tuple[float, str]] = []
+        self.expiry_la: dict[str, float] = {}
+
+
+class ShardedMembershipTable(MembershipTable):
+    """Drop-in :class:`MembershipTable` with O(changed) query paths.
+
+    ``NodeState`` bookkeeping, heartbeat admission, restart adoption and
+    QoS accounting are inherited unchanged; this subclass adds the K-way
+    shard partition (``crc32(node_id) % shards``, fixed at registration),
+    the per-shard deadline wheels and expiry heaps, and the maintained
+    snapshot that queries read.
+
+    Parameters (beyond the flat table's)
+    ------------------------------------
+    shards:
+        Number of partitions.  Shards bound the wheel/heap sizes and give
+        ``advance``/``expire`` natural units of work; they do not change
+        semantics.
+    granularity:
+        Wheel bucket width in seconds.  Smaller buckets mean fewer
+        early re-checks near a boundary; larger buckets mean fewer heap
+        operations.  ~5% of the heartbeat interval is a good default.
+    on_advance:
+        Optional hook ``(popped, changed)`` fired after every
+        :meth:`advance` — the observability layer's batch-granularity
+        counter feed.
+    """
+
+    def __init__(
+        self,
+        detector_factory: Callable[[str], FailureDetector] | str,
+        *,
+        shards: int = 16,
+        granularity: float = 0.05,
+        on_advance: Callable[[int, int], None] | None = None,
+        **kwargs,
+    ):
+        super().__init__(detector_factory, **kwargs)
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards!r}")
+        self._shard_list = [_Shard(granularity) for _ in range(int(shards))]
+        self._shard_of: dict[str, _Shard] = {}
+        self.on_advance = on_advance
+        # Maintained snapshot.  `_statuses` preserves registration order so
+        # `statuses()` matches the flat table's iteration order exactly.
+        self._statuses: dict[str, NodeStatus] = {}
+        self._counts: dict[NodeStatus, int] = {s: 0 for s in NodeStatus}
+        self._by_status: dict[NodeStatus, dict[str, None]] = {
+            s: {} for s in NodeStatus
+        }
+        # Keep the snapshot fresh at arrival time even with no observer:
+        # heartbeat-path classification is what lets queries skip the
+        # untouched nodes.
+        self._observes = True
+
+    # ------------------------------------------------------------------ #
+    # registration / removal keep the snapshot and shard map in sync
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shard_list)
+
+    def register(self, node_id: str) -> NodeState:
+        known = node_id in self._nodes
+        state = super().register(node_id)
+        if not known:
+            shard = self._shard_list[
+                crc32(node_id.encode()) % len(self._shard_list)
+            ]
+            self._shard_of[node_id] = shard
+            self._statuses[node_id] = NodeStatus.UNKNOWN
+            self._counts[NodeStatus.UNKNOWN] += 1
+            self._by_status[NodeStatus.UNKNOWN][node_id] = None
+        return state
+
+    def remove(self, node_id: str) -> None:
+        state = self._nodes.get(node_id)
+        if state is None:
+            return
+        super().remove(node_id)
+        shard = self._shard_of.pop(node_id)
+        shard.wheel.cancel(node_id)
+        shard.always.discard(node_id)
+        shard.expiry_la.pop(node_id, None)  # heap entry goes stale; see expire()
+        status = self._statuses.pop(node_id)
+        self._counts[status] -= 1
+        del self._by_status[status][node_id]
+
+    # ------------------------------------------------------------------ #
+    # classification choke point: snapshot + rescheduling
+    # ------------------------------------------------------------------ #
+
+    def _classify(self, state: NodeState, now: float) -> NodeStatus:
+        old = state.last_status
+        status = super()._classify(state, now)
+        if status is not old:
+            self._counts[old] -= 1
+            self._counts[status] += 1
+            self._statuses[state.node_id] = status
+            del self._by_status[old][state.node_id]
+            self._by_status[status][state.node_id] = None
+        self._reschedule(state)
+        return status
+
+    def _boundary(self, state: NodeState) -> float:
+        """Absolute time of the node's next status change (``inf`` if
+        unreachable without a heartbeat, ``-inf`` if not computable)."""
+        det = state.detector
+        if not det.ready or state.last_status in _TERMINAL:
+            return math.inf
+        threshold = det.binary_threshold()
+        status = state.last_status
+        try:
+            if threshold <= 0.0:
+                # Binary ladder: ACTIVE until just past the freshness
+                # point, then SUSPECT terminally (until a heartbeat).
+                if status is NodeStatus.SUSPECT:
+                    return math.inf
+                return det.suspicion_eta(0.0)
+            if status is NodeStatus.SLOW:
+                return det.suspicion_eta(threshold)
+            if status is NodeStatus.SUSPECT:
+                return det.suspicion_eta(2.0 * threshold)
+            # ACTIVE — or UNKNOWN on the ready-but-unclassified edge.
+            return det.suspicion_eta(0.5 * threshold)
+        except (NotWarmedUpError, NotImplementedError):
+            return -math.inf
+
+    def _reschedule(self, state: NodeState) -> None:
+        node_id = state.node_id
+        shard = self._shard_of[node_id]
+        due = self._boundary(state)
+        if due == -math.inf:
+            # Can't invert the suspicion curve: flat-table cost for this
+            # node only.
+            shard.wheel.cancel(node_id)
+            shard.always.add(node_id)
+            return
+        shard.always.discard(node_id)
+        shard.wheel.schedule(node_id, due)
+
+    # ------------------------------------------------------------------ #
+    # ingest: admission inherited; accepted heartbeats arm the shard
+    # ------------------------------------------------------------------ #
+
+    def heartbeat(
+        self, node_id: str, seq: int, arrival: float, send_time: float | None = None
+    ) -> NodeState:
+        prev = self._nodes.get(node_id)
+        before = prev.heartbeats if prev is not None else 0
+        # The inherited path classifies at arrival (`_observes` is forced
+        # on), which routes through our `_classify` and re-arms the wheel.
+        state = super().heartbeat(node_id, seq, arrival, send_time)
+        if state.heartbeats != before and node_id not in self._shard_of[
+            node_id
+        ].expiry_la:
+            shard = self._shard_of[node_id]
+            heapq.heappush(shard.expiry, (arrival, node_id))
+            shard.expiry_la[node_id] = arrival
+        return state
+
+    def heartbeat_batch(
+        self, batch: list[tuple[str, int, float, float | None]]
+    ) -> int:
+        """Batched ingest with an inlined steady-state fast path.
+
+        The common case at cluster scale — a known node sending the next
+        in-order sequence and staying ACTIVE — touches no snapshot
+        structure and emits no transition, so the layered ``heartbeat`` →
+        ``_classify`` → ``_reschedule`` call chain is pure overhead for
+        it.  This override fuses those layers for exactly that case
+        (same state updates, same wheel re-arm, same expiry-heap entry)
+        and routes everything else — unknown nodes, stale/restart
+        sequences, non-ACTIVE nodes, QoS accounting — through the
+        canonical per-heartbeat path, keeping behaviour identical to
+        ``heartbeat`` per tuple (proven by the batched parity tests).
+        """
+        if self._account:
+            # QoS accounting needs the full per-heartbeat bookkeeping.
+            return super().heartbeat_batch(batch)
+        accepted = 0
+        nodes = self._nodes
+        shard_of = self._shard_of
+        slow = self.heartbeat
+        active = NodeStatus.ACTIVE
+        neg_inf = -math.inf
+        push = heapq.heappush
+        lin_cache = _LINEAR_TIMEOUT
+        for node_id, seq, arrival, send_time in batch:
+            state = nodes.get(node_id)
+            if (
+                state is None
+                or seq <= state.last_seq
+                or state.last_status is not active
+            ):
+                before = state.heartbeats if state is not None else 0
+                if slow(node_id, seq, arrival, send_time).heartbeats != before:
+                    accepted += 1
+                continue
+            det = state.detector
+            state.last_seq = seq
+            state.last_arrival = arrival
+            state.heartbeats += 1
+            accepted += 1
+            cls = det.__class__
+            linear = lin_cache.get(cls)
+            if linear is None:
+                linear = lin_cache[cls] = _is_linear_timeout(cls)
+            if linear:
+                # Pure timeout detector, already warmed up (it was
+                # ACTIVE): inline the base-class observe — the class
+                # check above guarantees this is the code that would run
+                # — and reuse the freshness point as the ACTIVE→SUSPECT
+                # boundary.  No further detector calls needed.
+                off = det.freshness_offset
+                if off is not None:
+                    # Constant-interval contract: _ingest is a no-op and
+                    # FP is plain arithmetic — zero detector calls.
+                    det._observed += 1
+                    det._last_arrival = arrival
+                    det._freshness = fp = arrival + off
+                else:
+                    # Base observe order: estimators may read the
+                    # previous arrival inside _ingest.
+                    det._ingest(seq, arrival, send_time)
+                    det._observed += 1
+                    det._last_arrival = arrival
+                    det._freshness = fp = det._next_freshness()
+                if arrival > fp:
+                    # Already overdue at its own arrival (rare).
+                    self._classify(state, arrival)
+                    continue
+                shard = shard_of[node_id]
+                wheel = shard.wheel
+                if fp >= 0.0:
+                    # Inlined wheel.schedule (same bucket arithmetic) —
+                    # but only when the deadline moved *earlier*.  An
+                    # entry in an earlier bucket than the true deadline
+                    # is conservative: `advance` pops it, re-checks, and
+                    # re-arms at the real boundary.  Skipping the
+                    # no-earlier case turns a per-heartbeat re-bucket
+                    # into one early pop per timeout period.
+                    key = int(fp / wheel.granularity)
+                    pos = wheel._pos
+                    old = pos.get(node_id)
+                    if old is None or key < old:
+                        buckets = wheel._buckets
+                        if old is not None:
+                            buckets[old].discard(node_id)
+                        bucket = buckets.get(key)
+                        if bucket is None:
+                            bucket = buckets[key] = set()
+                            push(wheel._heap, key)
+                        bucket.add(node_id)
+                        pos[node_id] = key
+                else:  # pragma: no cover - negative clocks
+                    wheel.schedule(node_id, fp)
+                if node_id not in shard.expiry_la:
+                    push(shard.expiry, (arrival, node_id))
+                    shard.expiry_la[node_id] = arrival
+                continue
+            # Generic path: classify at arrival, fused with the
+            # next-boundary lookup.
+            det.observe(seq, arrival, send_time)
+            threshold = det.binary_threshold()
+            level = det.suspicion(arrival)
+            if (
+                level != 0.0
+                if threshold <= 0.0
+                else level >= 0.5 * threshold
+            ):
+                # Leaving ACTIVE right at arrival (rare): the canonical
+                # choke point handles snapshot, observers, and re-arming.
+                self._classify(state, arrival)
+                continue
+            try:
+                due = det.suspicion_eta(
+                    0.0 if threshold <= 0.0 else 0.5 * threshold
+                )
+            except (NotWarmedUpError, NotImplementedError):
+                due = neg_inf
+            shard = shard_of[node_id]
+            if due == neg_inf:
+                shard.wheel.cancel(node_id)
+                shard.always.add(node_id)
+            else:
+                if shard.always:
+                    shard.always.discard(node_id)
+                shard.wheel.schedule(node_id, due)
+            if node_id not in shard.expiry_la:
+                push(shard.expiry, (arrival, node_id))
+                shard.expiry_la[node_id] = arrival
+        return accepted
+
+    # ------------------------------------------------------------------ #
+    # the O(changed) pump
+    # ------------------------------------------------------------------ #
+
+    def advance(self, now: float) -> int:
+        """Re-classify exactly the nodes whose deadline has passed.
+
+        Emits the same transitions (same node, edge, timestamp) the flat
+        table would emit on a full query at ``now``; everything else is
+        untouched.  Returns the number of status changes.
+        """
+        now = float(now)
+        popped = 0
+        changed = 0
+        nodes = self._nodes
+        active = NodeStatus.ACTIVE
+        lin_cache = _LINEAR_TIMEOUT
+        for shard in self._shard_list:
+            wheel = shard.wheel
+            due = wheel.due(now)
+            n_wheel = len(due)
+            if shard.always:
+                due.extend(shard.always)
+            for i, nid in enumerate(due):
+                state = nodes.get(nid)
+                if state is None:  # pragma: no cover - removed mid-batch
+                    continue
+                popped += 1
+                if i < n_wheel and state.last_status is active:
+                    # Early pop of a live pure-timeout node whose
+                    # deadline moved later since it was bucketed (the
+                    # batched fast path re-buckets lazily): it stays
+                    # ACTIVE until its cached freshness point, so re-arm
+                    # there without a re-classification.
+                    det = state.detector
+                    cls = det.__class__
+                    linear = lin_cache.get(cls)
+                    if linear is None:
+                        linear = lin_cache[cls] = _is_linear_timeout(cls)
+                    if linear:
+                        fp = det._freshness
+                        if fp is not None and fp > now:
+                            wheel.schedule(nid, fp)
+                            continue
+                before = state.last_status
+                # _classify updates the snapshot and re-arms the wheel;
+                # re-arming into an already-popped bucket lands on the
+                # *next* advance, so this loop cannot spin.
+                if self._classify(state, now) is not before:
+                    changed += 1
+        if self.on_advance is not None:
+            self.on_advance(popped, changed)
+        return changed
+
+    # ------------------------------------------------------------------ #
+    # queries read the snapshot
+    # ------------------------------------------------------------------ #
+
+    def statuses(self, now: float) -> dict[str, NodeStatus]:
+        self.advance(now)
+        return dict(self._statuses)
+
+    def summary(self, now: float) -> dict[NodeStatus, int]:
+        self.advance(now)
+        return dict(self._counts)
+
+    def select(self, now: float, status: NodeStatus) -> list[str]:
+        """Node ids currently in ``status``.
+
+        Read from the per-status index set, so the cost is the size of
+        the answer.  Order follows transition recency rather than the
+        flat table's registration order; callers that need an order
+        should sort.
+        """
+        self.advance(now)
+        return list(self._by_status[status])
+
+    def status_of(self, node_id: str, now: float) -> NodeStatus:
+        # Single-node classification, exactly like the flat table — no
+        # global advance, so a point query stays O(1).
+        return super().status_of(node_id, now)
+
+    def expire(self, now: float, *, silent_for: float) -> list[str]:
+        """Evict nodes silent for longer than ``silent_for``.
+
+        Pops the per-shard lazy heaps instead of scanning: an entry whose
+        pushed arrival is out of date is refreshed and re-pushed, so each
+        node is examined only when its *oldest known* arrival is past the
+        horizon.  Same eviction set as the flat scan (strict inequality,
+        never-heartbeat nodes exempt), returned sorted.
+        """
+        if silent_for <= 0:
+            raise ConfigurationError(
+                f"silent_for must be > 0, got {silent_for!r}"
+            )
+        stale: list[str] = []
+        nodes = self._nodes
+        for shard in self._shard_list:
+            heap = shard.expiry
+            live = shard.expiry_la
+            while heap and now - heap[0][0] > silent_for:
+                la, nid = heapq.heappop(heap)
+                if live.get(nid) != la:
+                    continue  # superseded entry of a removed/re-added node
+                del live[nid]
+                state = nodes.get(nid)
+                if state is None:  # pragma: no cover - removed externally
+                    continue
+                if now - state.last_arrival > silent_for:
+                    stale.append(nid)
+                    self.remove(nid)
+                else:
+                    heapq.heappush(heap, (state.last_arrival, nid))
+                    live[nid] = state.last_arrival
+        stale.sort()
+        return stale

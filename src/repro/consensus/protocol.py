@@ -32,6 +32,8 @@ from typing import Any, Callable, Hashable
 
 from repro.errors import ConfigurationError
 from repro.detectors.base import FailureDetector
+from repro.cluster.membership import NodeStatus
+from repro.cluster.sharded import ShardedMembershipTable
 from repro.sim.crash import CrashPlan
 from repro.sim.engine import Simulator
 
@@ -142,10 +144,18 @@ class ConsensusProcess:
         self.rounds_started = 1
         # Coordinator state per round.
         self._ballots: dict[int, Ballot] = {}
-        # Per-peer failure detectors fed by heartbeats.
-        self.detectors: dict[int, FailureDetector] = {
-            p: detector_factory(p) for p in range(n) if p != pid
-        }
+        # Per-peer failure detectors, hosted in a sharded membership table
+        # so coordinator consultation reads a maintained status snapshot
+        # (reorder/restart handling comes with it for free).  Peers are
+        # keyed by their stringified pid.
+        self.membership = ShardedMembershipTable(
+            lambda peer_id: detector_factory(int(peer_id)),
+            auto_register=False,
+            shards=1,
+        )
+        for p in range(n):
+            if p != pid:
+                self.membership.register(str(p))
         self._hb_seq = 0
         sim.schedule(0.0, self._heartbeat_tick)
         sim.schedule_at(self.start, self._protocol_tick)
@@ -157,6 +167,15 @@ class ConsensusProcess:
     @property
     def alive(self) -> bool:
         return self.crash.alive_at(self.sim.now)
+
+    @property
+    def detectors(self) -> dict[int, FailureDetector]:
+        """Per-peer detector instances (compatibility view over the
+        membership table)."""
+        return {
+            int(state.node_id): state.detector
+            for state in self.membership.nodes()
+        }
 
     def coordinator(self, rnd: int) -> int:
         return rnd % self.n
@@ -212,12 +231,15 @@ class ConsensusProcess:
         else:
             coord = self.coordinator(self.round)
             # FD consultation (the only one): abandon a suspected
-            # coordinator.
+            # coordinator.  SUSPECT/DEAD on the table's classification
+            # ladder is exactly ``fd.ready and fd.suspects(now)`` (level
+            # above the binary threshold), so the snapshot consultation
+            # matches the raw-detector one verdict for verdict.
             if coord != self.pid:
-                fd = self.detectors[coord]
-                suspected = fd.ready and fd.suspects(now)
+                status = self.membership.status_of(str(coord), now)
+                suspected = status in (NodeStatus.SUSPECT, NodeStatus.DEAD)
                 never_heard = (
-                    not fd.ready
+                    status is NodeStatus.UNKNOWN
                     and now - self._round_started > self.startup_timeout
                 )
                 if suspected or never_heard:
@@ -266,13 +288,14 @@ class ConsensusProcess:
         if not self.alive:
             return
         if msg.kind is MessageKind.HEARTBEAT:
-            fd = self.detectors.get(msg.sender)
-            if fd is not None:
-                # Transport can reorder; detectors need increasing seqs.
-                try:
-                    fd.observe(msg.seq, self.sim.now, msg.send_time)
-                except Exception:
-                    pass  # stale heartbeat: drop, as a monitor would
+            peer = str(msg.sender)
+            if peer in self.membership:
+                # The table resolves transport reordering (stale drop
+                # within the reorder window, restart adoption beyond it)
+                # before the detector sees the sequence.
+                self.membership.heartbeat(
+                    peer, msg.seq, self.sim.now, msg.send_time
+                )
             return
         if msg.kind is MessageKind.DECIDE:
             if self.decided is None:

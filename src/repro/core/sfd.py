@@ -216,6 +216,12 @@ class SFD(TimeoutFailureDetector):
     def binary_threshold(self) -> float:
         return 1.0
 
+    def suspicion_eta(self, level: float) -> float:
+        """Margin units grow linearly past EA: the crossing is exact."""
+        if not self.ready:
+            raise NotWarmedUpError("SFD still warming up")
+        return self._ea + float(level) * max(self._sm_at_fp, _SM_EPS)
+
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #

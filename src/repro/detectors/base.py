@@ -78,6 +78,26 @@ class FailureDetector(abc.ABC):
         """
         return 0.0
 
+    def suspicion_eta(self, level: float) -> float:
+        """Absolute time at which :meth:`suspicion` first reaches ``level``.
+
+        The inverse of the suspicion curve for the *current* detector state
+        (no heartbeat between now and the returned instant).  Hosts that
+        maintain status snapshots incrementally (the sharded membership
+        table's deadline wheel) use this to schedule the next re-check
+        instead of polling every node on every query; they re-evaluate
+        :meth:`suspicion` exactly at the returned time, so the answer is a
+        scheduling hint, not a verdict — but it must never be *later* than
+        the true crossing, or a scheduled host would miss a transition.
+
+        Returns ``math.inf`` when the level is unreachable without further
+        heartbeats, and ``-math.inf`` when the crossing time cannot be
+        computed for this detector (the conservative answer: re-check on
+        every query).  The base implementation knows nothing about the
+        suspicion curve and returns ``-math.inf``.
+        """
+        return -math.inf
+
     def reset(self) -> None:
         """Forget all history (re-enter warm-up).  Optional override."""
         raise NotImplementedError(f"{type(self).__name__} does not support reset()")
@@ -92,6 +112,13 @@ class TimeoutFailureDetector(FailureDetector):
     ``max(0, now − FP)`` — the time by which the heartbeat is overdue —
     which is 0 exactly while the detector trusts.
     """
+
+    #: When not ``None``, a contract for batch ingest fast paths: this
+    #: detector's :meth:`_ingest` is a no-op and its freshness point is
+    #: always ``arrival + freshness_offset``, so a warmed-up observe can
+    #: be fused into plain arithmetic.  Estimator-driven subclasses leave
+    #: it ``None``; constant-interval ones set it per instance.
+    freshness_offset: float | None = None
 
     def __init__(self, warmup: int):
         if warmup < 2:
@@ -151,3 +178,10 @@ class TimeoutFailureDetector(FailureDetector):
 
     def suspicion(self, now: float) -> float:
         return max(0.0, float(now) - self.freshness_point())
+
+    def suspicion_eta(self, level: float) -> float:
+        """Overdue-seconds suspicion grows linearly from the freshness
+        point, so the crossing time is exact arithmetic."""
+        if level < 0:
+            raise ConfigurationError(f"level must be >= 0, got {level!r}")
+        return self.freshness_point() + level

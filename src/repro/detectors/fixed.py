@@ -37,6 +37,7 @@ class FixedTimeoutFD(TimeoutFailureDetector):
             raise ConfigurationError(f"timeout must be > 0, got {timeout!r}")
         super().__init__(warmup=warmup)
         self.fixed_timeout = float(timeout)
+        self.freshness_offset = self.fixed_timeout
 
     def _ingest(self, seq: int, arrival: float, send_time: float | None) -> None:
         pass  # stateless beyond the base's last-arrival tracking

@@ -30,6 +30,11 @@ import math
 import numpy as np
 from scipy.special import log_ndtr, ndtri
 
+try:  # scipy >= 1.9
+    from scipy.special import ndtri_exp as _ndtri_exp
+except ImportError:  # pragma: no cover - older scipy
+    _ndtri_exp = None
+
 from repro.errors import ConfigurationError, NotWarmedUpError
 from repro.detectors.base import TimeoutFailureDetector
 from repro.detectors.estimation import GapFiller
@@ -149,6 +154,33 @@ class PhiFD(TimeoutFailureDetector):
 
     def binary_threshold(self) -> float:
         return self.threshold
+
+    #: ``z`` such that ``φ(μ + σz) = level``, cached per level: the wheel
+    #: asks for the same three status-boundary levels on every heartbeat.
+    _Z_CACHE: dict[float, float] = {}
+
+    def suspicion_eta(self, level: float) -> float:
+        """Absolute time at which φ reaches ``level`` (may be ``inf``).
+
+        Inverted in log space (``ndtri_exp``), so unlike the equivalent
+        *timeout* of :func:`phi_equivalent_timeout` this stays finite in
+        the conservative range φ > 16 — snapshot hosts need the true
+        crossing even where the paper's timeout inversion saturates.
+        """
+        if level <= 0.0:
+            return -math.inf
+        z = self._Z_CACHE.get(level)
+        if z is None:
+            if _ndtri_exp is not None:
+                z = float(-_ndtri_exp(-level * math.log(10.0)))
+            else:  # pragma: no cover - older scipy: saturates like Eq. 9
+                p = 1.0 - 10.0 ** (-level)
+                z = float(ndtri(p)) if p < 1.0 else math.inf
+            self._Z_CACHE[level] = z
+        if math.isinf(z):  # pragma: no cover - older scipy only
+            return math.inf
+        mu, sigma = self.interarrival_stats()
+        return self.last_arrival + mu + sigma * z
 
     def phi_series(self, times: np.ndarray) -> np.ndarray:
         """Vectorized φ levels at several query times (diagnostics)."""

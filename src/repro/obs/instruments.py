@@ -112,6 +112,23 @@ class Instruments:
             "repro_listener_callback_errors_total",
             "Exceptions swallowed from the heartbeat consumer",
         )
+        self.ingest_batch = r.histogram(
+            "repro_ingest_batch_size",
+            "Valid heartbeats handed over per socket drain batch",
+            buckets=log_buckets(1.0, 1024.0, per_decade=3),
+        )
+        self.advance_sweeps = r.counter(
+            "repro_membership_advance_total",
+            "advance() sweeps of the sharded membership deadline wheel",
+        )
+        self.advance_popped = r.counter(
+            "repro_membership_advance_popped_total",
+            "Due nodes re-checked by membership advance() sweeps",
+        )
+        self.advance_transitions = r.counter(
+            "repro_membership_advance_transitions_total",
+            "Status changes emitted by membership advance() sweeps",
+        )
         self.sent = r.counter(
             "repro_sender_heartbeats_sent_total",
             "Heartbeats emitted by local senders",
@@ -335,8 +352,32 @@ class Instruments:
     def on_datagram(self) -> None:
         self.datagrams.inc()
 
+    def on_datagrams(self, count: int) -> None:
+        """Batch-granularity datagram accounting: one inc per drain."""
+        self.datagrams.inc(count)
+
+    def on_ingest_batch(self, size: int) -> None:
+        """One socket drain handed ``size`` valid heartbeats downstream."""
+        self.ingest_batch.observe(size)
+
     def on_malformed(self, suppressed: bool) -> None:
         (self.malformed_suppressed if suppressed else self.malformed).inc()
+
+    def on_malformed_batch(self, accounted: int, suppressed: int) -> None:
+        """Bulk malformed accounting for one drained batch."""
+        if accounted:
+            self.malformed.inc(accounted)
+        if suppressed:
+            self.malformed_suppressed.inc(suppressed)
+
+    def on_membership_advance(self, popped: int, changed: int) -> None:
+        """One deadline-wheel sweep re-checked ``popped`` due nodes, of
+        which ``changed`` transitioned."""
+        self.advance_sweeps.inc()
+        if popped:
+            self.advance_popped.inc(popped)
+        if changed:
+            self.advance_transitions.inc(changed)
 
     def on_callback_error(self) -> None:
         self.callback_errors.inc()
@@ -553,19 +594,41 @@ class Instruments:
 
         Refreshes the status/suspicion/safety-margin gauges from live
         detector state — the cost lands on the scraper, not on the
-        heartbeat path.  Status classification goes through the table so
-        TRUSTED↔SUSPECTED transitions are detected (and counted) on every
-        scrape even if nobody else queries.
+        heartbeat path.  Status classification goes through the table's
+        snapshot path (``statuses`` — an O(changed) deadline-wheel sweep
+        on the sharded table), so TRUSTED↔SUSPECTED transitions are
+        detected (and counted) on every scrape even if nobody else
+        queries, and per-node detector reads are *epoch-gated*: the
+        expensive gauges (suspicion level, SFD margin) are recomputed
+        only for nodes whose status changed since the previous scrape,
+        so a dashboard scrape cannot perturb hot-path timing at 10k
+        nodes.
         """
+        dirty: set[str] = set()
+        seen: set[str] = set()
+        monitor.table.add_transition_listener(
+            lambda node_id, old, new, at: dirty.add(node_id)
+        )
 
         def collect() -> None:
             now = monitor.clock()
+            table = monitor.table
+            statuses = table.statuses(now)
+            stale_ids = set(dirty)
+            dirty.clear()
             counts = dict.fromkeys(NodeStatus, 0)
-            for node_id, status in monitor.table.statuses(now).items():
+            for node_id, status in statuses.items():
                 counts[status] += 1
+                if node_id not in seen:
+                    stale_ids.add(node_id)
+            seen.intersection_update(statuses)  # drop expired nodes
+            for node_id in stale_ids:
+                status = statuses.get(node_id)
+                if status is None:
+                    continue  # transitioned, then expired before the scrape
+                seen.add(node_id)
                 self.node_status.labels(node_id).set(STATUS_CODES[status])
-                state = monitor.table.node(node_id)
-                det = state.detector
+                det = table.node(node_id).detector
                 level = det.suspicion(now) if det.ready else 0.0
                 self.node_suspicion.labels(node_id).set(level)
                 sm = getattr(det, "safety_margin", None)
@@ -573,7 +636,7 @@ class Instruments:
                     self.sfd_margin.labels(node_id).set(sm)
             for status, n in counts.items():
                 self.nodes_by_status.labels(status.value).set(n)
-            self.monitor_nodes.set(len(monitor.table))
+            self.monitor_nodes.set(len(table))
             self.monitor_received.set(monitor.received)
             self.audit.collect(now)
 

@@ -23,7 +23,8 @@ import time
 from typing import TYPE_CHECKING, Callable
 
 from repro.detectors.base import FailureDetector
-from repro.cluster.membership import MembershipTable, NodeStatus
+from repro.cluster.membership import NodeStatus
+from repro.cluster.sharded import ShardedMembershipTable
 from repro.qos.spec import QoSReport
 from repro.runtime.udp import UDPHeartbeatListener
 
@@ -46,6 +47,10 @@ class LiveMonitor:
         Local UDP address; port 0 picks a free port.
     clock:
         Arrival clock shared with status queries (monotonic by default).
+    shards:
+        Partition count of the backing
+        :class:`~repro.cluster.sharded.ShardedMembershipTable` — the live
+        plane always runs sharded so status queries stay O(changed).
     instruments:
         Optional :class:`repro.obs.Instruments` bundle; when given, the
         listener, table, and detectors all report into it and its
@@ -68,6 +73,7 @@ class LiveMonitor:
         bind: tuple[str, int] = ("127.0.0.1", 0),
         clock: Callable[[], float] = time.monotonic,
         account_qos: bool = False,
+        shards: int = 16,
         instruments: "Instruments | None" = None,
     ):
         self.clock = clock
@@ -79,33 +85,45 @@ class LiveMonitor:
             detector_factory = registry.as_factory(detector_factory)
         if instruments is not None:
             detector_factory = instruments.wrap_detector_factory(detector_factory)
-        self.table = MembershipTable(
+        self.table = ShardedMembershipTable(
             detector_factory,
             auto_register=True,
             account_qos=account_qos,
+            shards=shards,
             on_transition=instruments.on_transition if instruments else None,
             on_restart=instruments.on_restart if instruments else None,
             on_stale=instruments.on_stale if instruments else None,
+            on_advance=instruments.on_membership_advance if instruments else None,
         )
         self._listener = UDPHeartbeatListener(
-            self._on_heartbeat, bind=bind, clock=clock, instruments=instruments
+            on_batch=self._on_batch, bind=bind, clock=clock,
+            instruments=instruments,
         )
         self.received = 0
         if instruments is not None:
             instruments.bind_monitor(self)
 
+    def _on_batch(self, batch: list[tuple[str, int, float, float]]) -> None:
+        """One listener drain: feed the table heartbeat by heartbeat so
+        per-node instrumentation keeps its per-heartbeat resolution."""
+        heartbeat = self.table.heartbeat
+        instruments = self.instruments
+        for node_id, seq, arrival, send_time in batch:
+            # The sender's wall stamp is NOT comparable to our monotonic
+            # clock; detectors receive only the local arrival (Section
+            # II-B: no synchronized clocks).
+            state = heartbeat(node_id, seq, arrival, send_time=None)
+            if instruments is not None:
+                instruments.record_heartbeat(
+                    node_id, seq, send_time, arrival, detector=state.detector
+                )
+        self.received += len(batch)
+
     def _on_heartbeat(
         self, node_id: str, seq: int, send_time: float, arrival: float
     ) -> None:
-        # The sender's wall stamp is NOT comparable to our monotonic clock;
-        # detectors receive only the local arrival (Section II-B: no
-        # synchronized clocks).
-        state = self.table.heartbeat(node_id, seq, arrival, send_time=None)
-        self.received += 1
-        if self.instruments is not None:
-            self.instruments.record_heartbeat(
-                node_id, seq, send_time, arrival, detector=state.detector
-            )
+        """Single-datagram compatibility entry point (tests, embedders)."""
+        self._on_batch([(node_id, seq, arrival, send_time)])
 
     async def start(self) -> None:
         await self._listener.start()

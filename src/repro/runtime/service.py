@@ -156,7 +156,10 @@ class FailureDetectionService:
         level = state.detector.suspicion(now) if state.detector.ready else 0.0
         return PeerStatus(
             node_id=node_id,
-            status=state.status(now),
+            # Through the table, not state.status(): the classification
+            # choke point keeps the sharded snapshot/epoch consistent and
+            # surfaces the transition edge to observers.
+            status=self.monitor.table.status_of(node_id, now),
             suspicion=level,
             heartbeats=state.heartbeats,
             last_arrival=state.last_arrival,
