@@ -13,8 +13,10 @@ runs.
 from __future__ import annotations
 
 import dataclasses
+import gc
 import json
 import math
+import time
 from pathlib import Path
 
 from repro.analysis.experiments import ExperimentSetup, default_setup
@@ -70,6 +72,28 @@ def bench_stats(benchmark) -> dict:
         "stddev_s": st["stddev"],
         "rounds": st["rounds"],
     }
+
+
+def interleaved_min(n: int, fns) -> list[float]:
+    """Min-of-N CPU time per fn, reps interleaved (and the within-rep
+    order alternated) so drift hits every contender equally.  CPU time
+    (not wall) keeps scheduler preemption and frequency scaling on busy
+    boxes out of the estimate; remaining noise is one-sided, so the
+    minimum is the estimator.  Collections run between — never inside —
+    the timed region, charging each path its own allocations only."""
+    best = [float("inf")] * len(fns)
+    order = list(enumerate(fns))
+    for rep in range(n):
+        for i, fn in order if rep % 2 == 0 else reversed(order):
+            gc.collect()
+            gc.disable()
+            try:
+                t0 = time.process_time()
+                fn()
+                best[i] = min(best[i], time.process_time() - t0)
+            finally:
+                gc.enable()
+    return best
 
 
 def emit(name: str, text: str, data: dict | None = None) -> None:

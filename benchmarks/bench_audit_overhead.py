@@ -16,9 +16,6 @@ heartbeats the way ``repro top`` polling does, and scraped (snapshot +
 audit collect) at a realistic cadence.
 """
 
-import gc
-import time
-
 import numpy as np
 
 from repro.cluster import MembershipTable
@@ -26,7 +23,7 @@ from repro.core.sfd import SFD, SlotConfig
 from repro.obs import Instruments
 from repro.qos.spec import QoSRequirements
 
-from _common import SEED, emit
+from _common import SEED, emit, interleaved_min
 
 NODES = 6
 HEARTBEATS = 1_000  # per node — short reps: the min-estimator needs many
@@ -90,28 +87,6 @@ def run_monitoring(ins: Instruments) -> None:
     ins.registry.snapshot()
 
 
-def _interleaved_min(n: int, fns) -> list[float]:
-    """Min-of-N CPU time per fn, reps interleaved (and the within-rep
-    order alternated) so drift hits every contender equally.  CPU time
-    (not wall) keeps scheduler preemption and frequency scaling on busy
-    boxes out of the estimate; remaining noise is one-sided, so the
-    minimum is the estimator.  Collections run between — never inside —
-    the timed region, charging each path its own allocations only."""
-    best = [float("inf")] * len(fns)
-    order = list(enumerate(fns))
-    for rep in range(n):
-        for i, fn in order if rep % 2 == 0 else reversed(order):
-            gc.collect()
-            gc.disable()
-            try:
-                t0 = time.process_time()
-                fn()
-                best[i] = min(best[i], time.process_time() - t0)
-            finally:
-                gc.enable()
-    return best
-
-
 def test_audit_plane_overhead():
     """Full live instrumentation incl. audit plane must cost < 5%."""
     total = NODES * HEARTBEATS
@@ -125,7 +100,7 @@ def test_audit_plane_overhead():
     # and the cleanest round is the estimate.
     overhead, base, live = float("inf"), 0.0, 0.0
     for _ in range(3):
-        b, lv = _interleaved_min(
+        b, lv = interleaved_min(
             REPS,
             (
                 lambda: run_monitoring(Instruments.null()),

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis import (
@@ -305,8 +306,61 @@ def cmd_synth(args: argparse.Namespace) -> None:
     profile = _profile(args.case)
     n = args.n if args.n else _scaled(profile, args.scale)
     trace = synthesize(profile, n=n, seed=args.seed)
-    trace.save(args.output)
+    trace.save(args.output)  # .bin suffix -> columnar store, else .npz
     print(f"wrote {trace.total_sent} heartbeats ({trace.name}) to {args.output}")
+
+
+def cmd_trace_pack(args: argparse.Namespace) -> None:
+    from repro.errors import TraceFormatError
+    from repro.traces import HeartbeatTrace, TraceStore, write_columnar
+
+    src = Path(args.input)
+    try:
+        if src.suffix == ".csv":
+            trace = HeartbeatTrace.from_csv(src, name=args.name or src.stem)
+        else:
+            trace = HeartbeatTrace.load(src)
+            if args.name:
+                trace.name = args.name
+        write_columnar(trace, args.output)
+    except (OSError, TraceFormatError) as exc:
+        raise SystemExit(f"cannot pack {src}: {exc}")
+    store = TraceStore(args.output)
+    print(
+        f"packed {store.total_sent} heartbeats ({store.name}) "
+        f"into {args.output} ({store.info()['file_bytes']} bytes)"
+    )
+    print(f"fingerprint {store.fingerprint()}")
+
+
+def cmd_trace_info(args: argparse.Namespace) -> None:
+    import json as _json
+
+    from repro.errors import TraceFormatError
+    from repro.traces import HeartbeatTrace, TraceStore, is_columnar
+
+    path = Path(args.file)
+    try:
+        if is_columnar(path):
+            info = TraceStore(path).info()
+        else:
+            trace = HeartbeatTrace.load(path)
+            view = trace.monitor_view()
+            info = {
+                "path": str(path),
+                "format": "npz",
+                "file_bytes": path.stat().st_size,
+                "name": trace.name,
+                "total_sent": trace.total_sent,
+                "total_received": trace.total_received,
+                "view_heartbeats": len(view),
+                "dropped_stale": view.dropped_stale,
+                "fingerprint": view.fingerprint(),
+                "meta": trace.meta,
+            }
+    except (OSError, TraceFormatError) as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    print(_json.dumps(info, indent=2, sort_keys=True))
 
 
 def _detector_factory(spec_text: str):
@@ -860,11 +914,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sm1", type=float, nargs="+", default=[0.005, 1.8])
     p.set_defaults(func=cmd_convergence)
 
-    p = sub.add_parser("synth", help="write a calibrated synthetic trace (.npz)")
+    p = sub.add_parser(
+        "synth",
+        help="write a calibrated synthetic trace (.npz, or columnar .bin)",
+    )
     common(p, case_default="WAN-1")
     p.add_argument("-n", type=int, default=None, help="heartbeats to generate")
-    p.add_argument("-o", "--output", required=True)
+    p.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="output path (.bin writes a columnar store, anything else .npz)",
+    )
     p.set_defaults(func=cmd_synth)
+
+    p = sub.add_parser(
+        "trace", help="convert and inspect trace files (columnar store)"
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    tp = trace_sub.add_parser(
+        "pack", help="convert a .npz/.csv trace into a columnar store"
+    )
+    tp.add_argument("input", help="source trace (.npz, .csv, or columnar)")
+    tp.add_argument("output", help="destination columnar store")
+    tp.add_argument("--name", default=None, help="override the trace name")
+    tp.set_defaults(func=cmd_trace_pack)
+    ti = trace_sub.add_parser(
+        "info", help="print header, columns, metadata, and fingerprint"
+    )
+    ti.add_argument("file", help="trace file (columnar or .npz)")
+    ti.set_defaults(func=cmd_trace_info)
 
     def detector_opt(p: argparse.ArgumentParser, default: str):
         p.add_argument(

@@ -28,7 +28,10 @@ Schema::
     n = 60000                  # heartbeats (default: scaled published count)
     seed = 7                   # per-trace override
     # … or a logged trace instead of a profile:
-    # file = "wan1.npz"        # .npz (HeartbeatTrace.save) or .csv
+    # file = "wan1.npz"        # .npz (HeartbeatTrace.save), .csv, or a
+    #                          # columnar store (repro trace pack) —
+    #                          # stores replay zero-copy and ship to
+    #                          # pool workers by path
 
     [[sweep]]
     trace = "wan1"             # optional when only one trace is declared
@@ -60,7 +63,14 @@ from repro.exp.executors import ProcessPoolExecutor, SerialExecutor
 from repro.exp.plan import ExperimentPlan, PlanResult, check_shard
 from repro.exp.policy import FailurePolicy, FailureReport
 from repro.exp.progress import RunProgress
-from repro.traces import ALL_PROFILES, LAN_REFERENCE, HeartbeatTrace, synthesize
+from repro.traces import (
+    ALL_PROFILES,
+    LAN_REFERENCE,
+    HeartbeatTrace,
+    TraceStore,
+    is_columnar,
+    synthesize,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -189,6 +199,10 @@ def _build_trace(entry: Mapping[str, Any], base: Path, default_seed: int, where:
             raise ConfigurationError(f"{where} ({name!r}): no such trace file {path}")
         if path.suffix == ".csv":
             return name, HeartbeatTrace.from_csv(path, name=name)
+        if is_columnar(path):
+            # Kept as a store: replays zero-copy off the mapping, and the
+            # plan ships only the path to pool workers.
+            return name, TraceStore(path)
         return name, HeartbeatTrace.load(path)
     profile_name = str(entry["profile"])
     try:

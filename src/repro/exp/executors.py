@@ -17,9 +17,14 @@ Process fan-out uses the ``fork`` start method where available (Linux,
 the benchmark environment): the view table travels to each worker as
 pool ``initargs``, which under ``fork`` are inherited through process
 memory — multi-million-sample arrival arrays are shared copy-on-write
-with zero serialization.  On platforms without ``fork`` the same
-initargs travel by pickle instead.  No parent-process state is mutated,
-so concurrent ``run`` calls from different threads are safe.
+with zero serialization.  Columnar-backed plans are cheaper still: a
+:class:`~repro.traces.columnar.TraceStore` entry pickles as its *path*
+(~100 bytes), so on platforms without ``fork`` — where initargs travel
+by pickle — each worker re-opens its own memory mapping of the trace
+file instead of unpickling megabytes of view arrays; serial and
+parallel runs stay bit-identical because every mapping reads the same
+on-disk bytes.  No parent-process state is mutated, so concurrent
+``run`` calls from different threads are safe.
 
 Failure handling is driven by a declarative
 :class:`~repro.exp.policy.FailurePolicy`:
@@ -65,6 +70,7 @@ from repro.exp.plan import ReplayJob
 from repro.exp.policy import ExecutionResult, FailurePolicy, JobFailure
 from repro.qos.spec import QoSReport
 from repro.replay.engine import replay
+from repro.traces.columnar import TraceStore
 from repro.traces.trace import MonitorView
 
 __all__ = [
@@ -137,7 +143,9 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def _execute(job: ReplayJob, view: MonitorView, instruments=None) -> QoSReport:
+def _execute(
+    job: ReplayJob, view: MonitorView | TraceStore, instruments=None
+) -> QoSReport:
     """The one shared job body — both executors produce identical numbers."""
     return replay(job.spec, view, instruments=instruments).qos
 
@@ -219,7 +227,7 @@ class SerialExecutor:
     def run(
         self,
         jobs: list[ReplayJob],
-        views: Mapping[str, MonitorView],
+        views: Mapping[str, MonitorView | TraceStore],
         *,
         instruments=None,
         policy: FailurePolicy | None = None,
@@ -289,10 +297,10 @@ class SerialExecutor:
 #: inherited through process memory (copy-on-write, no pickling), and a
 #: parent-side global would race when two plans run from different
 #: threads.
-_WORKER_VIEWS: Mapping[str, MonitorView] | None = None
+_WORKER_VIEWS: Mapping[str, MonitorView | TraceStore] | None = None
 
 
-def _init_worker(views: Mapping[str, MonitorView]) -> None:
+def _init_worker(views: Mapping[str, MonitorView | TraceStore]) -> None:
     global _WORKER_VIEWS
     _WORKER_VIEWS = views
 
@@ -384,7 +392,7 @@ class ProcessPoolExecutor:
         return True
 
     def _make_pool(
-        self, capacity: int, ctx, views: Mapping[str, MonitorView]
+        self, capacity: int, ctx, views: Mapping[str, MonitorView | TraceStore]
     ) -> futures.ProcessPoolExecutor:
         """Build one pool generation (tests override to inject broken pools)."""
         return futures.ProcessPoolExecutor(
@@ -397,7 +405,7 @@ class ProcessPoolExecutor:
     def run(
         self,
         jobs: list[ReplayJob],
-        views: Mapping[str, MonitorView],
+        views: Mapping[str, MonitorView | TraceStore],
         *,
         instruments=None,
         policy: FailurePolicy | None = None,

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence, Union
 
 from repro.detectors.registry import DetectorFamily, get as get_family
@@ -38,7 +39,12 @@ from repro.exp.archive import check_archive_name
 from repro.exp.policy import ExecutionResult, FailureReport
 from repro.qos.area import QoSCurve
 from repro.qos.spec import QoSReport
+from repro.traces.columnar import TraceStore, is_columnar
 from repro.traces.trace import HeartbeatTrace, MonitorView
+
+#: What :meth:`ExperimentPlan.add_trace` accepts; stores and paths stay
+#: *unopened views* — workers mmap the file instead of unpickling arrays.
+TraceSource = Union[MonitorView, HeartbeatTrace, TraceStore, str, Path]
 
 __all__ = [
     "ReplayJob",
@@ -145,22 +151,38 @@ class ExperimentPlan:
     """
 
     def __init__(self) -> None:
-        self._views: dict[str, MonitorView] = {}
+        self._views: dict[str, MonitorView | TraceStore] = {}
         self._sweeps: list[SweepDecl] = []
 
     # -- declaration ---------------------------------------------------- #
 
-    def add_trace(
-        self, name: str, source: Union[MonitorView, HeartbeatTrace]
-    ) -> "ExperimentPlan":
-        """Register a named monitor view (or trace, reduced to its view)."""
+    def add_trace(self, name: str, source: TraceSource) -> "ExperimentPlan":
+        """Register a named trace source.
+
+        A :class:`HeartbeatTrace` is reduced to its
+        :class:`~repro.traces.trace.MonitorView` here; a
+        :class:`~repro.traces.columnar.TraceStore` (or a path to a
+        columnar file) is kept as a store, so process-pool executors ship
+        the *path* to workers — each worker memory-maps the file instead
+        of unpickling megabytes of view arrays.  Non-columnar paths are
+        loaded eagerly.
+        """
         if not name:
             raise ConfigurationError("trace name must be non-empty")
         check_archive_name(name, "trace name")
         if name in self._views:
             raise ConfigurationError(f"trace {name!r} already declared")
-        view = source.monitor_view() if isinstance(source, HeartbeatTrace) else source
-        if not isinstance(view, MonitorView):
+        if isinstance(source, (str, Path)):
+            source = (
+                TraceStore(source)
+                if is_columnar(source)
+                else HeartbeatTrace.load(source)
+            )
+        if isinstance(source, HeartbeatTrace):
+            view: MonitorView | TraceStore = source.monitor_view()
+        elif isinstance(source, (MonitorView, TraceStore)):
+            view = source
+        else:
             raise ConfigurationError(
                 f"trace {name!r}: cannot replay over {type(source).__name__}"
             )
@@ -223,7 +245,7 @@ class ExperimentPlan:
     # -- introspection -------------------------------------------------- #
 
     @property
-    def views(self) -> Mapping[str, MonitorView]:
+    def views(self) -> Mapping[str, MonitorView | TraceStore]:
         return dict(self._views)
 
     @property

@@ -87,26 +87,40 @@ class Timeline:
         t_end: float,
         initial_suspecting: bool = False,
     ) -> "Timeline":
-        """Build from ``(time, suspecting)`` edges (live monitor output)."""
-        starts: list[float] = []
-        ends: list[float] = []
-        state = initial_suspecting
-        if state:
-            starts.append(t_begin)
-        for t, suspecting in sorted(transitions):
-            t = min(max(t, t_begin), t_end)
-            if suspecting and not state:
-                starts.append(t)
-            elif not suspecting and state:
-                ends.append(t)
-            state = suspecting
-        if state:
-            ends.append(t_end)
+        """Build from ``(time, suspecting)`` edges (live monitor output).
+
+        Vectorized: an edge is a state *change* iff its flag differs from
+        the previous edge's flag (seeded with ``initial_suspecting``), so
+        the alternating interval bounds fall out of two boolean masks —
+        no per-edge Python even for million-edge live captures.
+        """
+        ordered = sorted(transitions)
+        times = np.minimum(
+            np.maximum(
+                np.fromiter(
+                    (t for t, _ in ordered), dtype=np.float64, count=len(ordered)
+                ),
+                t_begin,
+            ),
+            t_end,
+        )
+        flags = np.fromiter(
+            (bool(s) for _, s in ordered), dtype=bool, count=len(ordered)
+        )
+        previous = np.concatenate(([initial_suspecting], flags[:-1]))
+        change = flags != previous
+        starts = times[change & flags]
+        ends = times[change & ~flags]
+        if initial_suspecting:
+            starts = np.concatenate(([t_begin], starts))
+        final = bool(flags[-1]) if flags.size else initial_suspecting
+        if final:
+            ends = np.concatenate((ends, [t_end]))
         return cls(
             t_begin=t_begin,
             t_end=t_end,
-            starts=np.asarray(starts),
-            ends=np.asarray(ends),
+            starts=starts,
+            ends=ends,
         )
 
     # ------------------------------------------------------------------ #

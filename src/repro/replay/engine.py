@@ -22,6 +22,7 @@ import dataclasses
 import math
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Mapping, Union
 
 import numpy as np
@@ -29,8 +30,9 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.core.feedback import InfeasiblePolicy, TuningStatus
 from repro.core.sfd import SlotConfig, TuningRecord
-from repro.qos.metrics import qos_from_intervals, suspicion_intervals_from_freshness
+from repro.qos.metrics import qos_from_freshness
 from repro.qos.spec import QoSReport, QoSRequirements
+from repro.traces.columnar import TraceStore, as_monitor_view
 from repro.traces.trace import HeartbeatTrace, MonitorView
 
 __all__ = [
@@ -272,28 +274,39 @@ class ReplayResult:
 def _account(
     view: MonitorView, fp: np.ndarray, r0: int
 ) -> QoSReport:
-    """Uniform QoS accounting over the post-warm-up region."""
+    """Uniform QoS accounting over the post-warm-up region.
+
+    One fused array pass (:func:`repro.qos.metrics.qos_from_freshness`):
+    no per-heartbeat Python, and no interval-bound temporaries, between
+    the freshness series and the report.
+    """
     arrivals = view.arrivals[r0:]
     fresh = fp[r0:]
-    starts, ends = suspicion_intervals_from_freshness(arrivals, fresh)
     td = fresh - view.send_times[r0:]
-    return qos_from_intervals(
-        starts,
-        ends,
+    return qos_from_freshness(
+        arrivals,
+        fresh,
         td,
         t_begin=float(arrivals[0]),
         t_end=float(arrivals[-1]),
     )
 
 
-def replay(
-    spec: Spec, source: MonitorView | HeartbeatTrace, *, instruments=None
-) -> ReplayResult:
-    """Run one detector spec over one trace (or pre-extracted view).
+ReplaySource = Union[MonitorView, HeartbeatTrace, TraceStore, str, Path]
 
-    The spec's family is resolved through the detector registry, which
-    supplies the vectorized kernel — any registered family (including
-    third-party ones) replays through this single path.
+
+def replay(
+    spec: Spec, source: ReplaySource, *, instruments=None
+) -> ReplayResult:
+    """Run one detector spec over one trace source.
+
+    ``source`` may be a pre-extracted :class:`MonitorView`, a
+    :class:`HeartbeatTrace`, a memory-mapped
+    :class:`~repro.traces.columnar.TraceStore`, or a path to a trace file
+    (columnar stores open zero-copy).  The spec's family is resolved
+    through the detector registry, which supplies the vectorized kernel —
+    any registered family (including third-party ones) replays through
+    this single path.
 
     The warm-up convention matches the streaming detectors: accounting
     starts at received index ``window − 1`` (window full), except the
@@ -309,9 +322,7 @@ def replay(
 
     t0 = time.perf_counter() if instruments is not None else 0.0
     family = registry.get_for_spec(spec)
-    view = source.monitor_view() if isinstance(source, HeartbeatTrace) else source
-    if not isinstance(view, MonitorView):
-        raise ConfigurationError(f"cannot replay over {type(source).__name__}")
+    view = as_monitor_view(source)
     r0 = max(spec.window, 2) - 1
     if len(view) <= r0 + 1:
         raise ConfigurationError(

@@ -12,8 +12,16 @@ Table II).
 """
 
 from repro.traces.trace import HeartbeatTrace, MonitorView
+from repro.traces.columnar import (
+    ColumnarWriter,
+    TraceStore,
+    as_monitor_view,
+    is_columnar,
+    load_view,
+    write_columnar,
+)
 from repro.traces.stats import TraceStats, loss_bursts
-from repro.traces.synth import synthesize
+from repro.traces.synth import synthesize, synthesize_to
 from repro.traces.wan import (
     LAN_REFERENCE,
     WANProfile,
@@ -31,9 +39,16 @@ from repro.traces.wan import (
 __all__ = [
     "HeartbeatTrace",
     "MonitorView",
+    "TraceStore",
+    "ColumnarWriter",
+    "write_columnar",
+    "is_columnar",
+    "load_view",
+    "as_monitor_view",
     "TraceStats",
     "loss_bursts",
     "synthesize",
+    "synthesize_to",
     "WANProfile",
     "LAN_REFERENCE",
     "WAN_JAIST",

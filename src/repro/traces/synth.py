@@ -28,7 +28,7 @@ from repro.net.drift import DriftingClock
 from repro.traces.trace import HeartbeatTrace
 from repro.traces.wan import WANProfile
 
-__all__ = ["synthesize", "send_times_for"]
+__all__ = ["synthesize", "synthesize_to", "send_times_for"]
 
 
 def send_times_for(
@@ -155,3 +155,38 @@ def synthesize(
             "drift": profile.drift if include_drift else 0.0,
         },
     )
+
+
+def synthesize_to(
+    profile: WANProfile,
+    path,
+    *,
+    n: int | None = None,
+    seed: int = 0,
+    include_drift: bool = True,
+    chunk: int = 1 << 18,
+):
+    """Synthesize straight into a columnar store on disk.
+
+    Statistically and bit-for-bit identical to
+    ``write_columnar(synthesize(...), path)``: the delay/loss chains are
+    generated whole (splitting the Gilbert-Elliott and sojourn chains at
+    chunk boundaries would change their statistics), then streamed
+    through the :class:`~repro.traces.columnar.ColumnarWriter` in
+    ``chunk``-sized vectorized slices.  Returns the opened
+    :class:`~repro.traces.columnar.TraceStore`, ready for zero-copy
+    replay — the path the multi-million-heartbeat benchmarks take.
+    """
+    from repro.traces.columnar import ColumnarWriter
+
+    trace = synthesize(profile, n=n, seed=seed, include_drift=include_drift)
+    step = max(int(chunk), 1)
+    with ColumnarWriter(
+        path, name=trace.name, meta=trace.meta, chunk=chunk
+    ) as writer:
+        for start in range(0, trace.total_sent, step):
+            writer.append(
+                trace.send_times[start : start + step],
+                trace.delays[start : start + step],
+            )
+    return writer.store

@@ -15,6 +15,8 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -82,7 +84,9 @@ class MonitorView:
         ):
             a = np.ascontiguousarray(arr)
             h.update(f"|{name}:{a.dtype.str}:{a.size}|".encode("ascii"))
-            h.update(a.tobytes())
+            # memoryview, not tobytes(): hashing a multi-million-element
+            # memmap-backed column must not materialize a copy of it.
+            h.update(memoryview(a).cast("B"))
         h.update(f"|dropped_stale:{self.dropped_stale}|".encode("ascii"))
         return h.hexdigest()
 
@@ -199,21 +203,66 @@ class HeartbeatTrace:
     # persistence
     # ------------------------------------------------------------------ #
 
-    def save(self, path: str | Path) -> None:
-        """Serialize to ``.npz`` (arrays) + embedded JSON metadata."""
+    def save(self, path: str | Path, *, format: str | None = None) -> None:
+        """Serialize the trace atomically.
+
+        ``format`` selects ``"npz"`` (compressed arrays + embedded JSON
+        metadata) or ``"columnar"`` (the memory-mapped store of
+        :mod:`repro.traces.columnar`); ``None`` picks columnar for a
+        ``.bin`` suffix and npz otherwise.  Either way the bytes land in
+        a temp file first and are published with ``os.replace`` — same
+        discipline as ``RUN_PROGRESS.json`` — so a crash mid-save cannot
+        leave a truncated file behind.
+        """
         path = Path(path)
-        np.savez_compressed(
-            path,
-            format_version=np.int64(_FORMAT_VERSION),
-            send_times=self.send_times,
-            delays=self.delays,
-            name=np.bytes_(self.name.encode("utf-8")),
-            meta=np.bytes_(json.dumps(self.meta).encode("utf-8")),
-        )
+        if format is None:
+            format = "columnar" if path.suffix == ".bin" else "npz"
+        if format == "columnar":
+            from repro.traces.columnar import write_columnar
+
+            write_columnar(self, path)
+            return
+        if format != "npz":
+            raise TraceFormatError(
+                f"unknown trace format {format!r} (expected 'npz' or 'columnar')"
+            )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            # Hand savez an open file object: with a *name* it would
+            # append ".npz" to the temp path and break the replace.
+            with os.fdopen(fd, "wb") as fh:
+                np.savez_compressed(
+                    fh,
+                    format_version=np.int64(_FORMAT_VERSION),
+                    send_times=self.send_times,
+                    delays=self.delays,
+                    name=np.bytes_(self.name.encode("utf-8")),
+                    meta=np.bytes_(json.dumps(self.meta).encode("utf-8")),
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str | Path) -> "HeartbeatTrace":
+        """Load a trace file, sniffing the format by content.
+
+        Columnar stores (see :mod:`repro.traces.columnar`) open zero-copy
+        via :class:`~repro.traces.columnar.TraceStore`; anything else is
+        read as npz.  Every malformed input raises
+        :class:`~repro.errors.TraceFormatError` — numpy/zipfile internals
+        never leak to the caller.
+        """
+        from repro.traces.columnar import TraceStore, is_columnar
+
         path = Path(path)
+        if is_columnar(path):
+            return TraceStore(path).trace()
         try:
             with np.load(path) as z:
                 version = int(z["format_version"])
@@ -229,6 +278,12 @@ class HeartbeatTrace:
                 )
         except KeyError as exc:
             raise TraceFormatError(f"trace file {path} missing field {exc}") from exc
+        except FileNotFoundError:
+            raise
+        except TraceFormatError:
+            raise
+        except Exception as exc:
+            raise TraceFormatError(f"trace file {path} is corrupt: {exc}") from exc
 
     def to_csv(self, path: str | Path) -> None:
         """Write ``seq,send_time,arrival_time`` rows (arrival empty = lost).

@@ -182,6 +182,28 @@ class WANProfile:
         n = self.n_heartbeats if n is None else n
         return (n - 1) * self.send_mean
 
+    def synthesize_to(
+        self,
+        path,
+        *,
+        n: int | None = None,
+        seed: int = 0,
+        include_drift: bool = True,
+        chunk: int = 1 << 18,
+    ):
+        """Synthesize this profile straight into a columnar store.
+
+        Convenience front for :func:`repro.traces.synth.synthesize_to`
+        (imported lazily — :mod:`~repro.traces.synth` imports this
+        module); returns the opened
+        :class:`~repro.traces.columnar.TraceStore`.
+        """
+        from repro.traces.synth import synthesize_to
+
+        return synthesize_to(
+            self, path, n=n, seed=seed, include_drift=include_drift, chunk=chunk
+        )
+
 
 #: One week, JAIST (Japan) → EPFL (Switzerland), Section V-A.  100 ms
 #: target period, measured 103.501 ms (σ 0.189 ms); 23,192 of 5,845,713

@@ -33,6 +33,7 @@ from repro.detectors import registry
 from repro.qos.spec import QoSRequirements
 from repro.replay import replay
 from repro.replay.engine import _account
+from repro.traces.columnar import TraceStore, write_columnar
 
 from conftest import stream_freshness  # noqa: E402
 
@@ -108,3 +109,66 @@ def test_streaming_and_vectorized_qos_agree(
 
         vectorized = replay(spec, view).qos
         assert_qos_equivalent(streamed, vectorized, f"{family}@{value}")
+
+
+# --------------------------------------------------------------------- #
+# columnar ↔ npz round-trip equivalence
+# --------------------------------------------------------------------- #
+#
+# The columnar store claims its memory-mapped MonitorView is *the same
+# view* the in-memory path produces — same arrays, same fingerprint, and
+# therefore the same cached QoS.  These tests pin that claim differential
+# style, over both seeded workloads and every registered family.
+
+
+@pytest.mark.parametrize("kind,n,seed", VIEWS, ids=[v[0] for v in VIEWS])
+def test_columnar_roundtrip_view_and_fingerprint(
+    trace_factory, tmp_path, kind, n, seed
+):
+    trace = trace_factory(kind, n=n, seed=seed)
+    direct = trace.monitor_view()
+
+    npz_path = tmp_path / "t.npz"
+    bin_path = tmp_path / "t.bin"
+    trace.save(npz_path)
+    write_columnar(trace, bin_path)
+
+    store = TraceStore(bin_path)
+    mapped = store.view()
+    for field in ("seq", "arrivals", "send_times"):
+        a = getattr(direct, field)
+        b = getattr(mapped, field)
+        assert a.dtype == b.dtype, field
+        assert np.array_equal(a, b), field
+    assert direct.dropped_stale == mapped.dropped_stale
+
+    # Fingerprint stability is the cache-migration guarantee: warm
+    # SweepCache entries keyed on the npz-era fingerprint must stay warm
+    # after `repro trace pack`.
+    assert direct.fingerprint() == mapped.fingerprint() == store.fingerprint()
+
+    from repro.traces.trace import HeartbeatTrace
+
+    via_npz = HeartbeatTrace.load(npz_path).monitor_view()
+    assert via_npz.fingerprint() == mapped.fingerprint()
+
+
+@pytest.mark.parametrize("kind,n,seed", VIEWS, ids=[v[0] for v in VIEWS])
+@pytest.mark.parametrize("family", sorted(DIFFERENTIAL_CASES))
+def test_columnar_qos_bit_identical_to_npz(
+    trace_factory, tmp_path, family, kind, n, seed
+):
+    trace = trace_factory(kind, n=n, seed=seed)
+    bin_path = tmp_path / "t.bin"
+    write_columnar(trace, bin_path)
+    store = TraceStore(bin_path)
+
+    fam = registry.get(family)
+    grid, params = DIFFERENTIAL_CASES[family]
+    for value in grid:
+        spec = fam.grid_spec(float(value), **params)
+        in_memory = replay(spec, trace.monitor_view()).qos
+        mapped = replay(spec, store).qos
+        # Bit-identical, not approx: both paths run the same kernel over
+        # byte-identical arrays.
+        assert in_memory == mapped, (family, value)

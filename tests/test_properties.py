@@ -52,6 +52,9 @@ def monitor_views(draw, min_size=12, max_size=120):
     seq, arr = seq[order], arr[order]
     front = seq >= np.maximum.accumulate(seq)
     seq, arr = seq[front], arr[front]
+    # The stale-drop front can shrink heavily reordered draws below the
+    # vectorized kernels' minimum view size; reject those examples.
+    assume(seq.size >= min(min_size, 3))
     return MonitorView(seq=seq, arrivals=arr, send_times=send[seq])
 
 

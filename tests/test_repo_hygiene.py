@@ -43,6 +43,23 @@ def test_gitignore_covers_bytecode():
     assert "*.pyc" in text
 
 
+def test_no_oversized_binary_trace_fixtures():
+    """Columnar stores and npz traces are build artifacts, not sources:
+    anything over 1 MB committed to the tree bloats every clone forever.
+    Generate fixtures in-test (synthesize/write_columnar) instead."""
+    limit = 1 << 20
+    offenders = []
+    for name in _git("ls-files", "*.bin", "*.npz").strip().splitlines():
+        if not name:
+            continue
+        path = REPO / name
+        if path.exists() and path.stat().st_size > limit:
+            offenders.append(f"{name}: {path.stat().st_size} bytes")
+    assert not offenders, (
+        "oversized binary trace fixtures are committed:\n" + "\n".join(offenders)
+    )
+
+
 def test_no_isinstance_ladders_in_replay():
     """Replay dispatch is registry-driven; per-spec isinstance chains are
     banned (they were exactly what the registry refactor removed)."""
