@@ -1,0 +1,113 @@
+"""Learned (ml) FD vs the paper's families on the WAN traces.
+
+"Towards Implementing ML-Based Failure Detectors" (PAPERS.md) motivates
+replacing Chen-style closed-form estimators with a learned arrival-time
+predictor; this benchmark extends the paper's Section V comparison with
+exactly that baseline.  For each calibrated WAN case the same seeded
+trace is swept through chen / bertier / phi / sfd (the paper's sweeps)
+plus the ml family's margin grid, and every curve is printed and
+archived to ``results/BENCH_ml_vs_sfd.json``.
+
+Assertions pin what the ml construction *guarantees* (monotone QoS in
+the margin: TD rises, mistakes and MR fall, QAP rises) plus the
+comparison being well-posed (every family contributes a curve on every
+trace) — not where the learned curve happens to land, which is a finding
+for EXPERIMENTS.md, not a test invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import figure_plan
+from repro.analysis.report import format_figure
+from repro.detectors import registry
+from repro.qos.area import QoSCurve
+from repro.traces import WAN_1, WAN_JAIST
+from repro.traces.synth import synthesize
+
+from _common import emit, figure_setup
+
+PROFILES = (WAN_1, WAN_JAIST)
+FAMILIES = ("ml", "sfd", "chen", "phi", "bertier")
+
+# The registry's aggressive→conservative margin grid, on the ml family's
+# own default lag window.
+ML_MARGINS = registry.get("ml").default_grid
+ML_WINDOW = 16
+
+
+def run_case(profile) -> dict[str, QoSCurve]:
+    setup = figure_setup(profile)
+    trace = synthesize(profile, n=setup.heartbeats(), seed=setup.seed)
+    view = trace.monitor_view()
+    plan = figure_plan(setup, view)
+    plan.add_sweep(profile.name, "ml", ML_MARGINS, window=ML_WINDOW)
+    curves = plan.run().trace_curves(profile.name)
+    return {name: curves[name] for name in FAMILIES}
+
+
+def check_case(curves: dict[str, QoSCurve]) -> None:
+    for name in FAMILIES:
+        assert len(curves[name]) >= 1, name
+
+    ml = curves["ml"]
+    assert [p.parameter for p in ml.points] == list(ML_MARGINS)
+    td = np.array([p.detection_time for p in ml.points])
+    mistakes = np.array([p.qos.mistakes for p in ml.points])
+    mr = ml.mistake_rates()
+    qap = np.array([p.query_accuracy for p in ml.points])
+    # Construction guarantees: the margin widens every deadline by a
+    # strictly positive amount, so TD strictly rises while wrong
+    # suspicions (count, rate, wrongly-suspecting time) can only shrink.
+    assert (np.diff(td) > 0).all()
+    assert (np.diff(mistakes) <= 0).all()
+    assert (np.diff(mr) <= 0).all()
+    assert (np.diff(qap) >= -1e-12).all()
+    # The grid really spans aggressive → conservative: the conservative
+    # end suppresses almost all of the aggressive end's mistakes.
+    assert mistakes[-1] <= 0.05 * max(1, mistakes[0])
+
+
+def case_data(profile, curves: dict[str, QoSCurve]) -> dict:
+    return {
+        "case": profile.name,
+        "curves": {
+            name: [
+                {
+                    "parameter": p.parameter,
+                    "detection_time_s": p.detection_time,
+                    "mistake_rate_per_s": p.mistake_rate,
+                    "query_accuracy": p.query_accuracy,
+                }
+                for p in curve.points
+            ]
+            for name, curve in curves.items()
+        },
+    }
+
+
+def test_ml_vs_sfd(benchmark):
+    results = benchmark.pedantic(
+        lambda: {p.name: run_case(p) for p in PROFILES}, rounds=1, iterations=1
+    )
+    sections = []
+    for profile in PROFILES:
+        curves = results[profile.name]
+        check_case(curves)
+        sections.append(
+            format_figure(
+                curves,
+                title=f"Learned ml FD vs paper families ({profile.name})",
+            )
+        )
+    emit(
+        "ml_vs_sfd",
+        "\n\n".join(sections),
+        data={
+            "ml": {"margins": list(ML_MARGINS), "window": ML_WINDOW},
+            "cases": [
+                case_data(p, results[p.name]) for p in PROFILES
+            ],
+        },
+    )

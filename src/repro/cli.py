@@ -25,8 +25,9 @@ Runtime subcommands (``live``, ``chaos``, ``consensus``, ``scan``) take
 ``--detector <spec>`` where ``<spec>`` is a registry spec string —
 ``family:key=value,...`` over the families in
 :mod:`repro.detectors.registry` (``chen``, ``bertier``, ``phi``, ``sfd``,
-``fixed``, ``quantile``, plus anything registered at runtime), e.g.
-``"chen:alpha=0.5"``, ``"phi:threshold=4.0,window=10"``,
+``fixed``, ``quantile``, ``ml``, plus anything registered at runtime),
+e.g. ``"chen:alpha=0.5"``, ``"phi:threshold=4.0,window=10"``,
+``"ml:lr=0.05,window=16,margin=2.0"``,
 ``"sfd:td=0.9,mr=0.35,qap=0.99,slot=100"``.
 """
 

@@ -13,6 +13,8 @@ implementations of every detector the paper evaluates:
   freshness-interval baseline of Section II-B,
 * :class:`~repro.detectors.quantile.QuantileFD` — the nonparametric
   self-tuned-timeout family the paper cites as [34-35],
+* :class:`~repro.detectors.ml.MLFD` — a learned baseline: online NLMS
+  arrival prediction with a jitter-scaled margin (Li & Marin, PAPERS.md),
 
 plus the sliding sample window, arrival-time estimators, and loss
 gap-filling they share.  The paper's own contribution, SFD, lives in
@@ -35,6 +37,7 @@ from repro.detectors.bertier import BertierFD
 from repro.detectors.phi import PhiFD, phi_equivalent_timeout
 from repro.detectors.fixed import FixedTimeoutFD
 from repro.detectors.quantile import QuantileFD
+from repro.detectors.ml import MLFD, OnlineArrivalPredictor
 
 def __getattr__(name):
     # `repro.detectors.registry` sits above the replay layer (it binds the
@@ -63,4 +66,6 @@ __all__ = [
     "phi_equivalent_timeout",
     "FixedTimeoutFD",
     "QuantileFD",
+    "MLFD",
+    "OnlineArrivalPredictor",
 ]

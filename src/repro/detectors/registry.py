@@ -49,6 +49,7 @@ from repro.detectors.base import FailureDetector
 from repro.detectors.bertier import BertierFD
 from repro.detectors.chen import ChenFD
 from repro.detectors.fixed import FixedTimeoutFD
+from repro.detectors.ml import MLFD
 from repro.detectors.phi import PhiFD
 from repro.detectors.quantile import QuantileFD
 from repro.qos.spec import QoSRequirements
@@ -56,6 +57,7 @@ from repro.replay.engine import (
     BertierSpec,
     ChenSpec,
     FixedSpec,
+    MLSpec,
     PhiSpec,
     QuantileSpec,
     SFDSpec,
@@ -64,6 +66,7 @@ from repro.replay.vectorized import (
     bertier_freshness,
     chen_freshness,
     fixed_freshness,
+    ml_freshness,
     phi_freshness,
     quantile_freshness,
     sfd_freshness,
@@ -281,6 +284,14 @@ def _fixed_kernel(view: MonitorView, spec: FixedSpec) -> KernelRun:
     return KernelRun(fixed_freshness(view, spec.timeout))
 
 
+def _ml_kernel(view: MonitorView, spec: MLSpec) -> KernelRun:
+    return KernelRun(
+        ml_freshness(
+            view, spec.margin, lr=spec.lr, window=spec.window, decay=spec.decay
+        )
+    )
+
+
 def _sfd_kernel(view: MonitorView, spec: SFDSpec) -> KernelRun:
     run = sfd_freshness(
         view,
@@ -333,6 +344,12 @@ def _build_quantile(spec: QuantileSpec) -> QuantileFD:
 
 def _build_fixed(spec: FixedSpec) -> FixedTimeoutFD:
     return FixedTimeoutFD(spec.timeout)
+
+
+def _build_ml(spec: MLSpec) -> MLFD:
+    return MLFD(
+        spec.margin, lr=spec.lr, window_size=spec.window, decay=spec.decay
+    )
 
 
 def _build_sfd(spec: SFDSpec) -> SFD:
@@ -505,9 +522,9 @@ def spec_string(spec) -> str:
     if family.name == "sfd":
         req = data.pop("requirements")
         parts += [
-            f"td={req['max_detection_time']:g}",
-            f"mr={req['max_mistake_rate']:g}",
-            f"qap={req['min_query_accuracy']:g}",
+            f"td={req['max_detection_time']!r}",
+            f"mr={req['max_mistake_rate']!r}",
+            f"qap={req['min_query_accuracy']!r}",
         ]
         slot = data.pop("slot")
         parts.append(f"slot={slot['heartbeats']}")
@@ -517,7 +534,11 @@ def spec_string(spec) -> str:
         if value is None:
             continue
         if isinstance(value, float):
-            parts.append(f"{key}={value:g}")
+            # `repr` is the shortest exact round-trip form: ``float(repr(x))
+            # == x`` for every finite x, where ``%g`` truncates to 6
+            # significant digits and silently shifts dense sweep-grid
+            # values through parse(format(spec)).
+            parts.append(f"{key}={value!r}")
         else:
             parts.append(f"{key}={value}")
     return f"{family.name}:{','.join(parts)}" if parts else family.name
@@ -658,5 +679,22 @@ SFD_FAMILY = register(
         sweep_param="sm1",
         build=_build_sfd,
         normalize=_normalize_sfd,
+    )
+)
+
+ML = register(
+    DetectorFamily(
+        name="ml",
+        summary="learned FD: online NLMS arrival prediction + jitter-scaled margin (Li & Marin)",
+        streaming_cls=MLFD,
+        spec_cls=MLSpec,
+        kernel=_ml_kernel,
+        # Margin in learned-jitter units, aggressive → conservative: 0
+        # trusts the raw prediction; the top of the range is comparable to
+        # φ's most conservative finite thresholds on the WAN traces.
+        default_grid=_grid((0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)),
+        sweep_param="margin",
+        build=_build_ml,
+        parse_defaults={"margin": 2.0},
     )
 )

@@ -19,6 +19,8 @@ from repro.replay.vectorized import (
     phi_freshness,
     quantile_freshness,
     fixed_freshness,
+    ml_prediction_arrays,
+    ml_freshness,
     sfd_freshness,
     SFDReplay,
 )
@@ -30,6 +32,7 @@ from repro.replay.engine import (
     PhiSpec,
     FixedSpec,
     QuantileSpec,
+    MLSpec,
     SFDSpec,
     replay,
 )
@@ -41,6 +44,8 @@ __all__ = [
     "phi_freshness",
     "quantile_freshness",
     "fixed_freshness",
+    "ml_prediction_arrays",
+    "ml_freshness",
     "sfd_freshness",
     "SFDReplay",
     "ReplayResult",
@@ -50,6 +55,7 @@ __all__ = [
     "PhiSpec",
     "FixedSpec",
     "QuantileSpec",
+    "MLSpec",
     "SFDSpec",
     "replay",
 ]

@@ -43,6 +43,7 @@ __all__ = [
     "PhiSpec",
     "FixedSpec",
     "QuantileSpec",
+    "MLSpec",
     "SFDSpec",
     "replay",
 ]
@@ -170,6 +171,28 @@ class FixedSpec(ReplaySpec):
         return self.timeout
 
 
+@dataclass(frozen=True, slots=True)
+class MLSpec(ReplaySpec):
+    """Learned (online NLMS) FD configuration (sweep parameter: ``margin``).
+
+    ``margin`` scales the learned jitter estimate added to the predicted
+    arrival; ``lr``/``decay`` are the NLMS learning rate and EWMA decay of
+    :class:`~repro.detectors.ml.OnlineArrivalPredictor`; ``window`` is the
+    lag-window length (and the warm-up, per the replay convention).
+    """
+
+    margin: float = 2.0
+    lr: float = 0.05
+    window: int = 16
+    decay: float = 0.1
+
+    detector = "ml"
+
+    @property
+    def parameter(self) -> float:
+        return self.margin
+
+
 @dataclass(frozen=True)
 class SFDSpec(ReplaySpec):
     """SFD configuration (sweep parameter: the initial margin ``sm1``)."""
@@ -229,7 +252,9 @@ class SFDSpec(ReplaySpec):
             raise ConfigurationError(f"bad SFDSpec fields: {exc}") from exc
 
 
-Spec = Union[ChenSpec, BertierSpec, PhiSpec, FixedSpec, QuantileSpec, SFDSpec]
+Spec = Union[
+    ChenSpec, BertierSpec, PhiSpec, FixedSpec, QuantileSpec, MLSpec, SFDSpec
+]
 
 
 @dataclass

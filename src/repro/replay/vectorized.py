@@ -42,6 +42,7 @@ from repro.core.feedback import (
     TuningRecord,
     TuningStatus,
 )
+from repro.detectors.ml import ML_JITTER_FLOOR, OnlineArrivalPredictor
 from repro.detectors.phi import SIGMA_FLOOR
 from repro.qos.spec import QoSRequirements, Satisfaction
 from repro.traces.trace import MonitorView
@@ -53,6 +54,8 @@ __all__ = [
     "phi_freshness",
     "quantile_freshness",
     "fixed_freshness",
+    "ml_prediction_arrays",
+    "ml_freshness",
     "sfd_freshness",
     "SFDReplay",
 ]
@@ -261,6 +264,63 @@ def fixed_freshness(view: MonitorView, timeout: float) -> np.ndarray:
     fp[1:] = view.arrivals[1:] + float(timeout)
     fp[0] = view.arrivals[0] + float(timeout)
     return fp
+
+
+def ml_prediction_arrays(
+    view: MonitorView,
+    *,
+    lr: float = 0.05,
+    window: int = 16,
+    decay: float = 0.1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-index learned gap predictions and jitter scales for a view.
+
+    Runs the *same* sequential NLMS core the streaming
+    :class:`~repro.detectors.ml.MLFD` uses
+    (:class:`~repro.detectors.ml.OnlineArrivalPredictor`) over
+    ``np.diff(arrivals)``, so ``pred[r]``/``jitter[r]`` are bit-identical
+    to the streaming model's state after heartbeat ``r`` by construction
+    — the learned recursion has no closed form to vectorize, exactly as
+    SFD's feedback loop doesn't.  Index 0 is NaN (no gap yet).
+
+    The arrays are margin-independent: every freshness sweep of the
+    family reuses one pass (see
+    :class:`repro.analysis.fastsweep.MLSweeper`).
+    """
+    _require_view(view, 2)
+    arrivals = view.arrivals
+    n = arrivals.size
+    pred = np.full(n, np.nan, dtype=np.float64)
+    jit = np.full(n, np.nan, dtype=np.float64)
+    predictor = OnlineArrivalPredictor(lr=lr, window=window, decay=decay)
+    gaps = np.diff(arrivals)
+    update = predictor.update
+    predict = predictor.predict
+    for j in range(1, n):
+        update(gaps[j - 1])
+        pred[j] = predict()
+        jit[j] = predictor.jitter
+    return pred, jit
+
+
+def ml_freshness(
+    view: MonitorView,
+    margin: float,
+    *,
+    lr: float = 0.05,
+    window: int = 16,
+    decay: float = 0.1,
+) -> np.ndarray:
+    """ML FD freshness points: ``FP[r] = A_r + ŷ_r + margin·(jitter_r+floor)``.
+
+    The elementwise combination matches the streaming detector's
+    ``deadline`` arithmetic operation for operation (same addends, same
+    rounding), so the result is bit-identical to a streaming replay.
+    """
+    if margin < 0:
+        raise ConfigurationError(f"margin must be >= 0, got {margin!r}")
+    pred, jit = ml_prediction_arrays(view, lr=lr, window=window, decay=decay)
+    return view.arrivals + (pred + float(margin) * (jit + ML_JITTER_FLOOR))
 
 
 @dataclass

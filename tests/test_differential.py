@@ -43,15 +43,33 @@ REQ = QoSRequirements(
 
 # One case per registered family: (grid values, fixed spec params).
 # Grids deliberately span aggressive → conservative, including φ's
-# infinite-detection cutoff region (threshold 18).
+# infinite-detection cutoff region (threshold 18).  The parametrization
+# below iterates ``registry.names()`` — NOT this dict's keys — so a newly
+# registered family is pulled into the harness automatically and fails
+# loudly (via :func:`differential_case`) until it gets a case here.
 DIFFERENTIAL_CASES = {
     "chen": ((0.01, 0.1, 0.5), {"window": 100}),
     "bertier": ((0.0,), {"window": 100}),
     "phi": ((1.0, 4.0, 18.0), {"window": 100}),
     "quantile": ((0.9, 0.99), {"window": 100}),
     "fixed": ((0.1, 0.5), {}),
+    "ml": ((0.0, 2.0, 8.0), {"window": 16}),
     "sfd": ((0.01, 0.1, 0.9), {"requirements": REQ, "window": 100}),
 }
+
+FAMILIES = sorted(registry.names())
+
+
+def differential_case(family: str):
+    """Grid + params for a family; a registered family without a case is
+    a harness hole, reported as a failure (not a KeyError)."""
+    try:
+        return DIFFERENTIAL_CASES[family]
+    except KeyError:
+        pytest.fail(
+            f"registered family {family!r} has no DIFFERENTIAL_CASES entry; "
+            "the streaming-vs-vectorized harness must stay exhaustive"
+        )
 
 # Two different seeded workloads: the small noisy cross-check trace and a
 # calibrated WAN profile (losses, jitter, reordering).
@@ -85,18 +103,20 @@ def assert_qos_equivalent(streamed, vectorized, family: str):
 
 def test_every_registered_family_has_a_case():
     # New families must add a differential case or this harness is no
-    # longer the exhaustive equivalence check the cache relies on.
+    # longer the exhaustive equivalence check the cache relies on.  Both
+    # directions matter: a missing case is a hole, a stale case is a
+    # family that was renamed or removed without cleaning up here.
     assert set(registry.names()) == set(DIFFERENTIAL_CASES)
 
 
 @pytest.mark.parametrize("kind,n,seed", VIEWS, ids=[v[0] for v in VIEWS])
-@pytest.mark.parametrize("family", sorted(DIFFERENTIAL_CASES))
+@pytest.mark.parametrize("family", FAMILIES)
 def test_streaming_and_vectorized_qos_agree(
     view_factory, family, kind, n, seed
 ):
     view = view_factory(kind, n=n, seed=seed)
     fam = registry.get(family)
-    grid, params = DIFFERENTIAL_CASES[family]
+    grid, params = differential_case(family)
     for value in grid:
         spec = fam.grid_spec(float(value), **params)
         r0 = max(spec.window, 2) - 1
@@ -154,7 +174,7 @@ def test_columnar_roundtrip_view_and_fingerprint(
 
 
 @pytest.mark.parametrize("kind,n,seed", VIEWS, ids=[v[0] for v in VIEWS])
-@pytest.mark.parametrize("family", sorted(DIFFERENTIAL_CASES))
+@pytest.mark.parametrize("family", FAMILIES)
 def test_columnar_qos_bit_identical_to_npz(
     trace_factory, tmp_path, family, kind, n, seed
 ):
@@ -164,7 +184,7 @@ def test_columnar_qos_bit_identical_to_npz(
     store = TraceStore(bin_path)
 
     fam = registry.get(family)
-    grid, params = DIFFERENTIAL_CASES[family]
+    grid, params = differential_case(family)
     for value in grid:
         spec = fam.grid_spec(float(value), **params)
         in_memory = replay(spec, trace.monitor_view()).qos

@@ -27,6 +27,7 @@ from repro.replay import (
     BertierSpec,
     ChenSpec,
     FixedSpec,
+    MLSpec,
     PhiSpec,
     QuantileSpec,
     ReplaySpec,
@@ -36,7 +37,7 @@ from repro.replay import (
 )
 from repro.analysis.sweep import sweep_curve
 
-BUILTIN = ("chen", "bertier", "phi", "quantile", "fixed", "sfd")
+BUILTIN = ("chen", "bertier", "phi", "quantile", "fixed", "sfd", "ml")
 
 REQ = QoSRequirements(
     max_detection_time=0.8, max_mistake_rate=0.3, min_query_accuracy=0.98
@@ -48,6 +49,7 @@ ROUND_TRIP_SPECS = [
     PhiSpec(threshold=6.0, window=64),
     QuantileSpec(quantile=0.97, window=128),
     FixedSpec(timeout=0.4),
+    MLSpec(margin=1.5, lr=0.1, window=32, decay=0.2),
     SFDSpec(
         requirements=REQ,
         sm1=0.02,
@@ -198,6 +200,19 @@ class TestSpecStrings:
         assert text.startswith(f"{spec.detector}")
         assert registry.parse_spec(text) == spec
 
+    @pytest.mark.parametrize("name", sorted(registry.names()))
+    def test_grid_spec_strings_round_trip(self, name):
+        # parse(format(spec)) == spec at *every* default-grid point of
+        # every registered family — formatter/parser drift anywhere in
+        # the registry (e.g. %g truncating dense grid values) fails here
+        # rather than surfacing as a subtly different sweep.
+        fam = registry.get(name)
+        params = {"requirements": REQ} if name == "sfd" else {}
+        for value in fam.default_grid:
+            spec = fam.grid_spec(float(value), **params)
+            text = registry.spec_string(spec)
+            assert registry.parse_spec(text) == spec, (name, value, text)
+
 
 class TestFactories:
     def test_detector_factory_from_string(self):
@@ -222,31 +237,47 @@ class TestFactories:
         assert isinstance(built, FixedTimeoutFD)
 
 
+# The sweep-equivalence parametrization iterates ``registry.names()``,
+# not this dict, so a new family lands in the harness the moment it is
+# registered and fails (via ``sweep_case``) until it gets an entry here.
 SWEEP_CASES = {
     "chen": ((0.05, 0.2), {"window": 100}),
     "phi": ((1.0, 4.0), {"window": 100}),
     "bertier": ((0.0,), {"window": 100}),
     "quantile": ((0.9, 0.99), {"window": 100}),
     "fixed": ((0.1, 0.5), {}),
+    "ml": ((0.0, 2.0), {"window": 16}),
     "sfd": ((0.01, 0.1), {"requirements": REQ, "window": 100}),
 }
+
+
+def sweep_case(name: str):
+    try:
+        return SWEEP_CASES[name]
+    except KeyError:
+        pytest.fail(
+            f"registered family {name!r} has no SWEEP_CASES entry; the "
+            "sweep-vs-replay harness must stay exhaustive"
+        )
 
 
 class TestSweepEquivalence:
     """The generic sweep is nothing but per-point replays, in grid order.
 
     Registry-driven replacement for the retired per-family shim tests:
-    for *every* registered built-in family the curve from
-    :func:`sweep_curve` must equal, point for point and bit for bit, a
-    direct :func:`replay` of the family's ``grid_spec`` at each value.
+    for *every* registered family the curve from :func:`sweep_curve`
+    must equal, point for point and bit for bit, a direct
+    :func:`replay` of the family's ``grid_spec`` at each value.
     """
 
-    def test_every_builtin_family_has_a_case(self):
-        assert set(SWEEP_CASES) == set(BUILTIN)
+    def test_every_registered_family_has_a_case(self):
+        # Set equality both ways: a missing case is a harness hole, a
+        # stale case is a family removed without cleaning up here.
+        assert set(SWEEP_CASES) == set(registry.names())
 
-    @pytest.mark.parametrize("name", BUILTIN)
+    @pytest.mark.parametrize("name", sorted(registry.names()))
     def test_sweep_equals_per_point_replays(self, small_view, name):
-        grid, params = SWEEP_CASES[name]
+        grid, params = sweep_case(name)
         fam = registry.get(name)
         curve = sweep_curve(name, small_view, grid, **params)
         assert curve.detector == name

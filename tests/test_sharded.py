@@ -30,6 +30,7 @@ from repro.detectors import (
     BertierFD,
     ChenFD,
     FixedTimeoutFD,
+    MLFD,
     PhiFD,
     QuantileFD,
 )
@@ -106,6 +107,7 @@ FACTORIES = {
     "fixed": lambda nid: FixedTimeoutFD(0.3),
     "bertier": lambda nid: BertierFD(window_size=8),
     "quantile": lambda nid: QuantileFD(0.99, window_size=8),
+    "ml": lambda nid: MLFD(2.0, window_size=8),
     "sfd": lambda nid: SFD(QoSRequirements(0.3, 2.0, 0.98), window_size=8),
 }
 
@@ -269,8 +271,9 @@ class TestFlatShardedParity:
     def test_batched_fast_path_parity(self, family):
         """`heartbeat_batch` with QoS accounting off engages the fused
         steady-state fast path (inline linear-timeout lane for fixed /
-        chen / bertier / quantile, generic lane for phi / sfd); the
-        sharded side must still match a per-item flat table verdict for
+        chen / bertier / quantile / ml — the learned detector overrides
+        no suspicion hooks, so it qualifies — generic lane for phi /
+        sfd); the sharded side must still match a per-item flat table
         verdict under the same chaos schedule."""
         run_parity(FACTORIES[family], seed=1 + hash(family) % 997, batched=True)
 
